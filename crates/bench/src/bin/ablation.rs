@@ -1,0 +1,91 @@
+//! Ablation study (extension beyond the paper): the cost of the design
+//! choices DESIGN.md calls out.
+//!
+//! 1. `A_k` representation — treap (rank keys, `O(log n)` order tests) vs
+//!    tag list (label keys, `O(1)` order tests, occasional relabels);
+//! 2. k-order generation heuristic — how much wall-clock the *small
+//!    deg⁺ first* rule actually buys (time companion to Fig 9's counts).
+//!
+//! `cargo run --release -p kcore-bench --bin ablation`
+
+use kcore_bench::{fmt_secs, row, time_insertions, time_removals, Cli};
+use kcore_decomp::Heuristic;
+use kcore_maint::{OrderCore, SkipOrderCore, TagOrderCore, TreapOrderCore};
+
+fn main() {
+    let mut cli = Cli::parse();
+    if cli.datasets.len() == 11 {
+        cli.datasets = vec!["orkut".into(), "patents".into(), "ca".into()];
+    }
+    println!(
+        "== Ablation 1: A_k = treap vs tag list vs skip list ({} updates, scale {:?}) ==",
+        cli.updates, cli.scale
+    );
+    row(
+        &[
+            "dataset".into(),
+            "treap-ins".into(),
+            "tag-ins".into(),
+            "skip-ins".into(),
+            "treap-rem".into(),
+            "tag-rem".into(),
+            "skip-rem".into(),
+        ],
+        12,
+        12,
+    );
+    for name in cli.dataset_names() {
+        let ds = cli.load(name);
+        let mut treap: TreapOrderCore = OrderCore::new(ds.base.clone(), cli.seed);
+        let ti = time_insertions(&mut treap, &ds.stream);
+        let tr = time_removals(&mut treap, &ds.stream);
+        let mut tag: TagOrderCore = OrderCore::new(ds.base.clone(), cli.seed);
+        let gi = time_insertions(&mut tag, &ds.stream);
+        let gr = time_removals(&mut tag, &ds.stream);
+        let mut skip: SkipOrderCore = OrderCore::new(ds.base.clone(), cli.seed);
+        let si = time_insertions(&mut skip, &ds.stream);
+        let sr = time_removals(&mut skip, &ds.stream);
+        assert_eq!(treap.cores(), tag.cores(), "variants diverged on {name}");
+        assert_eq!(treap.cores(), skip.cores(), "variants diverged on {name}");
+        row(
+            &[
+                name.into(),
+                fmt_secs(ti.elapsed),
+                fmt_secs(gi.elapsed),
+                fmt_secs(si.elapsed),
+                fmt_secs(tr.elapsed),
+                fmt_secs(gr.elapsed),
+                fmt_secs(sr.elapsed),
+            ],
+            12,
+            12,
+        );
+    }
+
+    println!();
+    println!(
+        "== Ablation 2: wall-clock by generation heuristic ({} insertions) ==",
+        cli.updates
+    );
+    row(
+        &[
+            "dataset".into(),
+            "small".into(),
+            "large".into(),
+            "random".into(),
+        ],
+        12,
+        12,
+    );
+    for name in cli.dataset_names() {
+        let ds = cli.load(name);
+        let mut cells = vec![name.to_string()];
+        for h in Heuristic::ALL {
+            let mut engine: TreapOrderCore =
+                OrderCore::with_heuristic(ds.base.clone(), h, cli.seed);
+            let r = time_insertions(&mut engine, &ds.stream);
+            cells.push(fmt_secs(r.elapsed));
+        }
+        row(&cells, 12, 12);
+    }
+}

@@ -1,0 +1,102 @@
+//! Baseline panorama (extension): the three search-space regimes of
+//! Fig 5 as actual engines — SubCore (visits `sc`, no index), Traversal
+//! (visits `pc`, maintains `mcd`/`pcd`), Order (visits `oc`, maintains
+//! the k-order) — plus the naive full recompute, on the same update
+//! streams.
+//!
+//! `cargo run --release -p kcore-bench --bin baselines`
+
+use kcore_bench::{fmt_ratio, fmt_secs, order_engine, row, time_insertions, time_removals, Cli};
+use kcore_maint::RecomputeCore;
+use kcore_traversal::{SubCoreAlgo, TraversalCore};
+
+fn main() {
+    let mut cli = Cli::parse();
+    if cli.datasets.len() == 11 {
+        cli.datasets = vec![
+            "patents".into(),
+            "orkut".into(),
+            "gowalla".into(),
+            "ca".into(),
+        ];
+    }
+    println!(
+        "== Baseline panorama: time (s) and visited/|V*| over {} updates (scale {:?}) ==",
+        cli.updates, cli.scale
+    );
+    row(
+        &[
+            "dataset".into(),
+            "phase".into(),
+            "Order".into(),
+            "Trav-2".into(),
+            "SubCore".into(),
+            "Recompute".into(),
+            "oc-ratio".into(),
+            "pc-ratio".into(),
+            "sc-ratio".into(),
+        ],
+        12,
+        11,
+    );
+    for name in cli.dataset_names() {
+        let ds = cli.load(name);
+        // cap the recompute baseline to a subset so the run stays sane
+        let naive_stream: Vec<_> = ds.stream.iter().copied().take(200).collect();
+
+        let mut order = order_engine(&ds, cli.seed);
+        let o_ins = time_insertions(&mut order, &ds.stream);
+        let mut trav = TraversalCore::new(ds.base.clone(), 2);
+        let t_ins = time_insertions(&mut trav, &ds.stream);
+        let mut sub = SubCoreAlgo::new(ds.base.clone());
+        let s_ins = time_insertions(&mut sub, &ds.stream);
+        assert_eq!(order.cores(), trav.cores());
+        assert_eq!(order.cores(), sub.cores());
+        let mut naive = RecomputeCore::new(ds.base.clone());
+        let n_ins = time_insertions(&mut naive, &naive_stream);
+        // scale the naive time up to the full stream for comparability
+        let n_scaled = n_ins.secs() * ds.stream.len() as f64 / naive_stream.len().max(1) as f64;
+
+        row(
+            &[
+                name.into(),
+                "insert".into(),
+                fmt_secs(o_ins.elapsed),
+                fmt_secs(t_ins.elapsed),
+                fmt_secs(s_ins.elapsed),
+                format!("{n_scaled:.3}*"),
+                fmt_ratio(o_ins.stats.visited as f64, o_ins.stats.changed as f64),
+                fmt_ratio(t_ins.stats.visited as f64, t_ins.stats.changed as f64),
+                fmt_ratio(s_ins.stats.visited as f64, s_ins.stats.changed as f64),
+            ],
+            12,
+            11,
+        );
+
+        let o_rem = time_removals(&mut order, &ds.stream);
+        let t_rem = time_removals(&mut trav, &ds.stream);
+        let s_rem = time_removals(&mut sub, &ds.stream);
+        assert_eq!(order.cores(), trav.cores());
+        assert_eq!(order.cores(), sub.cores());
+        row(
+            &[
+                String::new(),
+                "remove".into(),
+                fmt_secs(o_rem.elapsed),
+                fmt_secs(t_rem.elapsed),
+                fmt_secs(s_rem.elapsed),
+                "-".into(),
+                fmt_ratio(o_rem.stats.visited as f64, o_rem.stats.changed.max(1) as f64),
+                fmt_ratio(t_rem.stats.visited as f64, t_rem.stats.changed.max(1) as f64),
+                fmt_ratio(s_rem.stats.visited as f64, s_rem.stats.changed.max(1) as f64),
+            ],
+            12,
+            11,
+        );
+    }
+    println!();
+    println!("(* recompute extrapolated from 200 updates)");
+    println!("expected shape: visited/|V*| ordered oc <= pc <= sc per Fig 5's");
+    println!("containment chain; times ordered Order < Trav-2 < SubCore <");
+    println!("Recompute on heavy-tailed graphs.");
+}

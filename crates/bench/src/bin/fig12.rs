@@ -1,0 +1,87 @@
+//! Fig 12: stability of `OrderInsert` — re-insert a long stream of edges
+//! in groups, measuring the per-group time; optionally removing a random
+//! earlier edge with probability `p` after each insertion
+//! (`p ∈ {0, 0.1, 0.2}` as in the paper).
+//!
+//! The paper uses 100 groups × 100,000 edges; here the group size scales
+//! with `--updates` (default: 20 groups × updates edges).
+//!
+//! `cargo run --release -p kcore-bench --bin fig12`
+
+use kcore_bench::{order_engine, Cli};
+use kcore_gen::sample::{sample_edges, EdgeSampler, Op};
+use kcore_maint::CoreMaintainer;
+use std::time::Instant;
+
+const GROUPS: usize = 20;
+const PS: [f64; 3] = [0.0, 0.1, 0.2];
+
+fn main() {
+    let mut cli = Cli::parse();
+    if cli.datasets.len() == 11 {
+        cli.datasets = vec!["patents".into(), "orkut".into(), "livejournal".into()];
+    }
+    println!(
+        "== Fig 12: OrderInsert stability ({GROUPS} groups x {} edges, scale {:?}) ==",
+        cli.updates, cli.scale
+    );
+    for p in PS {
+        println!("\n-- removal mix p = {p} --");
+        print!("{:>12}", "group");
+        for name in cli.dataset_names() {
+            print!(" {name:>14}");
+        }
+        println!(" (ms per group)");
+        // Collect per-dataset engines and samplers.
+        let mut runs = Vec::new();
+        for name in cli.dataset_names() {
+            let ds = cli.load(name);
+            // A long re-insertion pool: group edges sampled from the base.
+            let pool = sample_edges(&ds.base, GROUPS * cli.updates, cli.seed ^ 0xF12);
+            let mut base = ds.base.clone();
+            for &(u, v) in &pool {
+                base.remove_edge(u, v).unwrap();
+            }
+            let engine = order_engine(
+                &kcore_gen::Dataset {
+                    spec: ds.spec,
+                    base,
+                    stream: Vec::new(),
+                },
+                cli.seed,
+            );
+            runs.push((engine, EdgeSampler::new(pool, cli.seed ^ 0x51AB)));
+        }
+        let mut group = 0usize;
+        loop {
+            let mut line = format!("{group:>12}");
+            let mut any = false;
+            for (engine, sampler) in runs.iter_mut() {
+                if sampler.remaining() == 0 {
+                    line.push_str(&format!(" {:>14}", "-"));
+                    continue;
+                }
+                any = true;
+                let start = Instant::now();
+                for _ in 0..cli.updates {
+                    let Some(Op::Insert(u, v)) = sampler.next_insert() else {
+                        break;
+                    };
+                    engine.insert(u, v).expect("insert");
+                    if let Some(Op::Remove(a, b)) = sampler.maybe_remove(p) {
+                        engine.remove(a, b).expect("remove");
+                    }
+                }
+                line.push_str(&format!(" {:>14.1}", start.elapsed().as_secs_f64() * 1000.0));
+            }
+            if !any || group >= GROUPS {
+                break;
+            }
+            println!("{line}");
+            group += 1;
+        }
+    }
+    println!();
+    println!("expected shape: per-group time stays bounded across groups — the");
+    println!("k-order does not degrade under sustained churn (paper Fig 12).");
+}

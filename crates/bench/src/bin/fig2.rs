@@ -1,0 +1,53 @@
+//! Fig 2: ratio of vertices visited to vertices actually updated,
+//! `Σ|V'| / Σ|V*|` for the traversal insertion algorithm vs
+//! `Σ|V+| / Σ|V*|` for the order-based insertion algorithm.
+//!
+//! `cargo run --release -p kcore-bench --bin fig2`
+
+use kcore_bench::{fmt_ratio, order_engine, row, time_insertions, trav_engine, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    println!(
+        "== Fig 2: visited/updated ratio over {} insertions (scale {:?}) ==",
+        cli.updates, cli.scale
+    );
+    row(
+        &[
+            "dataset".into(),
+            "trav |V'|".into(),
+            "order |V+|".into(),
+            "|V*|".into(),
+            "trav ratio".into(),
+            "order ratio".into(),
+        ],
+        12,
+        12,
+    );
+    for name in cli.dataset_names() {
+        let ds = cli.load(name);
+        let mut trav = trav_engine(&ds, 2);
+        let t = time_insertions(&mut trav, &ds.stream);
+        let mut order = order_engine(&ds, cli.seed);
+        let o = time_insertions(&mut order, &ds.stream);
+        assert_eq!(
+            t.stats.changed, o.stats.changed,
+            "engines disagree on |V*| for {name}"
+        );
+        row(
+            &[
+                name.into(),
+                t.stats.visited.to_string(),
+                o.stats.visited.to_string(),
+                o.stats.changed.to_string(),
+                fmt_ratio(t.stats.visited as f64, t.stats.changed as f64),
+                fmt_ratio(o.stats.visited as f64, o.stats.changed as f64),
+            ],
+            12,
+            12,
+        );
+    }
+    println!();
+    println!("expected shape: traversal ratios >= 7 (thousands on the");
+    println!("citation/social graphs); order ratios < 4 everywhere (paper Fig 2).");
+}

@@ -1,0 +1,48 @@
+//! Table I: dataset statistics — `n`, `m`, average degree, `max k` — for
+//! the eleven synthetic stand-ins, next to the originals they model.
+//!
+//! `cargo run --release -p kcore-bench --bin table1 [--scale medium]`
+
+use kcore_bench::{row, Cli};
+use kcore_decomp::{core_decomposition, max_core};
+use kcore_graph::stats::graph_stats;
+
+fn main() {
+    let cli = Cli::parse();
+    println!("== Table I: dataset statistics (scale {:?}) ==", cli.scale);
+    row(
+        &[
+            "dataset".into(),
+            "n".into(),
+            "m".into(),
+            "avg.deg".into(),
+            "max k".into(),
+        ],
+        12,
+        12,
+    );
+    for name in cli.dataset_names() {
+        let ds = cli.load(name);
+        let g = ds.full_graph();
+        let s = graph_stats(&g);
+        let core = core_decomposition(&g);
+        row(
+            &[
+                name.into(),
+                s.n.to_string(),
+                s.m.to_string(),
+                format!("{:.2}", s.avg_degree),
+                max_core(&core).to_string(),
+            ],
+            12,
+            12,
+        );
+    }
+    println!();
+    println!("stands for (paper Table I):");
+    for name in cli.dataset_names() {
+        if let Some(spec) = kcore_gen::datasets::spec(name) {
+            println!("  {:<12} -> {}", name, spec.stands_for);
+        }
+    }
+}

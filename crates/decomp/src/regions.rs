@@ -1,0 +1,266 @@
+//! Subcore (`sc`), pure-core (`pc`, Definition 4.1) and order-core (`oc`,
+//! Definition 5.4) size analysis — the machinery behind Fig 5, which
+//! explains *why* the order-based algorithm visits so much less than the
+//! traversal algorithm: `|oc|` has far smaller tail mass than `|pc|`/`|sc|`.
+
+use crate::korder::KOrder;
+use crate::validate::compute_mcd;
+use kcore_graph::{DynamicGraph, VertexId};
+
+/// Plain union-find with union by size and path halving.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns the new representative.
+    pub fn union(&mut self, a: u32, b: u32) -> u32 {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        big
+    }
+
+    /// Size of `x`'s set.
+    pub fn set_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+}
+
+/// `|sc(u)|` for every vertex: the size of the maximal connected set of
+/// same-core vertices containing `u` (Section III).
+pub fn subcore_sizes(g: &DynamicGraph, core: &[u32]) -> Vec<u32> {
+    let mut uf = UnionFind::new(g.num_vertices());
+    for (u, v) in g.edges() {
+        if core[u as usize] == core[v as usize] {
+            uf.union(u, v);
+        }
+    }
+    (0..g.num_vertices() as VertexId)
+        .map(|v| uf.set_size(v))
+        .collect()
+}
+
+/// `|pc(u)|` for every vertex (Definition 4.1): `pc(u) = {u} ∪ PC` where
+/// `PC` is the maximal set of *qualified* vertices (`mcd(w) > core(w)`,
+/// `core(w) = core(u)`) such that `{u} ∪ PC` is connected.
+///
+/// This is the worst-case search space of the traversal insertion
+/// algorithm rooted at `u`.
+pub fn purecore_sizes(g: &DynamicGraph, core: &[u32]) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mcd = compute_mcd(g, core);
+    let qualified: Vec<bool> = (0..n).map(|v| mcd[v] > core[v]).collect();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in g.edges() {
+        if core[u as usize] == core[v as usize] && qualified[u as usize] && qualified[v as usize] {
+            uf.union(u, v);
+        }
+    }
+    let mut roots: Vec<u32> = Vec::with_capacity(8);
+    (0..n as VertexId)
+        .map(|u| {
+            roots.clear();
+            let cu = core[u as usize];
+            let mut total = 0u32;
+            if qualified[u as usize] {
+                roots.push(uf.find(u));
+                total += uf.set_size(u);
+            } else {
+                total += 1; // u itself, outside PC
+            }
+            for &w in g.neighbors(u) {
+                if core[w as usize] == cu && qualified[w as usize] {
+                    let r = uf.find(w);
+                    if !roots.contains(&r) {
+                        roots.push(r);
+                        total += uf.set_size(w);
+                    }
+                }
+            }
+            total
+        })
+        .collect()
+}
+
+/// `|oc(u)|` (Definition 5.4): vertices reachable from `u` by paths that
+/// stay within `core(u)`'s level and always move *forward* in the k-order.
+/// This is the worst-case search space of `OrderInsert` rooted at `u`.
+///
+/// Exact per-vertex reachability in a DAG has no subquadratic algorithm,
+/// so callers pass the subset of `vertices` to evaluate (the Fig 5 driver
+/// samples; tests pass everything).
+pub fn ordercore_sizes(g: &DynamicGraph, ko: &KOrder, vertices: &[VertexId]) -> Vec<u32> {
+    let n = g.num_vertices();
+    let pos = ko.positions();
+    let mut mark = vec![u32::MAX; n];
+    let mut stack: Vec<VertexId> = Vec::new();
+    vertices
+        .iter()
+        .enumerate()
+        .map(|(epoch, &start)| {
+            let epoch = epoch as u32;
+            let cu = ko.core[start as usize];
+            let mut count = 0u32;
+            stack.push(start);
+            mark[start as usize] = epoch;
+            while let Some(v) = stack.pop() {
+                count += 1;
+                for &w in g.neighbors(v) {
+                    let wi = w as usize;
+                    if mark[wi] != epoch
+                        && ko.core[wi] == cu
+                        && pos[wi] > pos[v as usize]
+                    {
+                        mark[wi] = epoch;
+                        stack.push(w);
+                    }
+                }
+            }
+            count
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bucket::core_decomposition;
+    use crate::korder::{korder_decomposition, Heuristic};
+    use kcore_graph::fixtures;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(3, 4);
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(0), uf.find(3));
+        assert_eq!(uf.set_size(0), 2);
+        assert_eq!(uf.set_size(2), 1);
+        uf.union(1, 3);
+        assert_eq!(uf.set_size(4), 4);
+        // union of already-joined sets is a no-op
+        let r = uf.union(0, 4);
+        assert_eq!(uf.set_size(r), 4);
+    }
+
+    #[test]
+    fn subcores_of_paper_graph() {
+        // Example 3.1: one 1-subcore {u_i} (2001 vertices), one 2-subcore
+        // {v1..v5}, two 3-subcores of 4 vertices each.
+        let pg = fixtures::PaperGraph::full();
+        let core = core_decomposition(&pg.graph);
+        let sc = subcore_sizes(&pg.graph, &core);
+        assert_eq!(sc[pg.u(0) as usize], 2001);
+        assert_eq!(sc[pg.u(1500) as usize], 2001);
+        for j in 1..=5 {
+            assert_eq!(sc[pg.v(j) as usize], 5);
+        }
+        for j in 6..=13 {
+            assert_eq!(sc[pg.v(j) as usize], 4);
+        }
+    }
+
+    #[test]
+    fn purecore_excludes_tight_vertices() {
+        // In the u-chain, the two leaves have mcd = core = 1, so they are
+        // not qualified; every interior vertex is. The pure core of an
+        // interior chain vertex therefore spans the interior chain + u0
+        // (all connected through u0) but not the leaves.
+        let pg = fixtures::PaperGraph::small(); // chain = 20
+        let core = core_decomposition(&pg.graph);
+        let pc = purecore_sizes(&pg.graph, &core);
+        // qualified u-vertices: u0..u18 (19 of them); leaves u19, u20 not.
+        assert_eq!(pc[pg.u(0) as usize], 19);
+        assert_eq!(pc[pg.u(17) as usize], 19);
+        // A leaf's pure core: itself + the adjacent qualified component.
+        assert_eq!(pc[pg.u(19) as usize], 20);
+        // Clique vertices: their cross edges go to *lower*-core vertices,
+        // which do not raise mcd, so mcd = 3 = core for all of v6..v13 —
+        // nobody in the 3-level is qualified and every pure core there is
+        // the vertex alone.
+        for j in 6..=13 {
+            assert_eq!(pc[pg.v(j) as usize], 1, "v{j}");
+        }
+        // The 2-level: v3 has mcd 4 > 2 (hub), so qualified; v1, v2 have
+        // mcd > core too (v1: nbrs v2,v3,v6,v10 all core >= 2 -> mcd 4;
+        // v2: v1,v3,v7 -> mcd 3); v4 (nbrs v3,v5 -> mcd 2 = core) and
+        // v5 (nbrs v3,v4 core>=2, u0 core 1 -> mcd 2) are not.
+        assert_eq!(pc[pg.v(4) as usize], 1 + 3); // v4 + {v3} comp {v1,v2,v3}
+        assert_eq!(pc[pg.v(1) as usize], 3); // inside {v1,v2,v3}
+    }
+
+    #[test]
+    fn ordercore_respects_order_direction() {
+        let pg = fixtures::PaperGraph::small();
+        let ko = korder_decomposition(&pg.graph, Heuristic::SmallDegFirst, 0);
+        let all: Vec<u32> = (0..pg.graph.num_vertices() as u32).collect();
+        let oc = ordercore_sizes(&pg.graph, &ko, &all);
+        // The very last vertex of the global order reaches only itself
+        // within its level.
+        let last = *ko.order.last().unwrap();
+        assert_eq!(oc[last as usize], 1);
+        // Everybody reaches at least themselves, and the order core never
+        // exceeds the subcore.
+        let core = core_decomposition(&pg.graph);
+        let sc = subcore_sizes(&pg.graph, &core);
+        for v in 0..pg.graph.num_vertices() {
+            assert!(oc[v] >= 1);
+            assert!(oc[v] <= sc[v], "oc({v}) > sc({v})");
+        }
+    }
+
+    #[test]
+    fn ordercore_of_chain_orders() {
+        // Path graph: O_1 ordering peels leaves inward; the oc of the
+        // first-peeled vertex includes its forward chain.
+        let g = fixtures::path(6);
+        let ko = korder_decomposition(&g, Heuristic::SmallDegFirst, 0);
+        let all: Vec<u32> = (0..6).collect();
+        let oc = ordercore_sizes(&g, &ko, &all);
+        let first = ko.order[0];
+        assert!(oc[first as usize] >= 2);
+        let last = ko.order[5];
+        assert_eq!(oc[last as usize], 1);
+    }
+
+    #[test]
+    fn pc_at_least_one_and_bounded_by_level_size() {
+        let g = fixtures::petersen();
+        let core = core_decomposition(&g);
+        let pc = purecore_sizes(&g, &core);
+        // Petersen is 3-regular: mcd = 3 = core for everyone, nobody is
+        // qualified, every pure core is the vertex alone.
+        assert_eq!(pc, vec![1; 10]);
+    }
+}

@@ -1,0 +1,459 @@
+//! Seeded random-graph generators, one per structural family used by the
+//! dataset registry.
+
+use kcore_graph::{edge_key, DynamicGraph, FxHashSet, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform `G(n, m)`: exactly `m` distinct edges among `n` vertices
+/// (rejection-sampled; requires `m` well below the complete-graph bound).
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> DynamicGraph {
+    assert!(n >= 2);
+    let max_edges = n * (n - 1) / 2;
+    assert!(m <= max_edges / 2, "G(n,m) generator wants density <= 1/2");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = DynamicGraph::with_vertices(n);
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    seen.reserve(m);
+    while g.num_edges() < m {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u != v && seen.insert(edge_key(u, v)) {
+            g.insert_edge_unchecked(u, v);
+        }
+    }
+    g
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m_per` distinct existing vertices chosen proportionally to degree.
+/// Degeneracy is `m_per`; degree distribution is a power law. Edges are
+/// produced in temporal order (vertex arrival), which the registry reuses
+/// for the "temporal" datasets.
+pub fn barabasi_albert(n: usize, m_per: usize, seed: u64) -> DynamicGraph {
+    holme_kim(n, m_per, 0.0, seed)
+}
+
+/// Holme–Kim: Barabási–Albert with probability `p_triangle` of closing a
+/// triangle after each preferential attachment (clustered power law —
+/// deeper cores than plain BA, like real social networks). Every vertex
+/// attaches with exactly `m_per` edges, so the degeneracy is `m_per`.
+pub fn holme_kim(n: usize, m_per: usize, p_triangle: f64, seed: u64) -> DynamicGraph {
+    holme_kim_with(n, m_per, p_triangle, seed, |_rng| m_per)
+}
+
+/// Holme–Kim with *heterogeneous* attachment counts: each arriving vertex
+/// attaches with a draw from a skewed mixture with mean ≈ `m_mean`
+/// (two-thirds uniform `1..=m_mean`, one-third uniform
+/// `m_mean..=2·m_mean`). Real social graphs have broad core-number
+/// distributions precisely because arrival intensity varies; constant-`m`
+/// BA would collapse every core number to `m` (cf. paper Fig 10a).
+pub fn heterogeneous_social(n: usize, m_mean: usize, p_triangle: f64, seed: u64) -> DynamicGraph {
+    holme_kim_with(n, m_mean, p_triangle, seed, move |rng: &mut SmallRng| {
+        if rng.gen_bool(2.0 / 3.0) {
+            rng.gen_range(1..=m_mean)
+        } else {
+            rng.gen_range(m_mean..=2 * m_mean)
+        }
+    })
+}
+
+fn holme_kim_with<F>(n: usize, m_per: usize, p_triangle: f64, seed: u64, mut attach: F) -> DynamicGraph
+where
+    F: FnMut(&mut SmallRng) -> usize,
+{
+    assert!(m_per >= 1 && n > 2 * m_per);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = DynamicGraph::with_vertices(n);
+    // `targets` holds one entry per half-edge: sampling uniformly from it
+    // is degree-proportional sampling.
+    let mut half_edges: Vec<VertexId> = Vec::with_capacity(2 * n * m_per);
+    // Seed clique over the first m_per + 1 vertices.
+    for a in 0..=(m_per as VertexId) {
+        for b in (a + 1)..=(m_per as VertexId) {
+            g.insert_edge_unchecked(a, b);
+            half_edges.push(a);
+            half_edges.push(b);
+        }
+    }
+    for v in (m_per + 1)..n {
+        let v = v as VertexId;
+        // cap by the number of available distinct targets
+        let m_v = attach(&mut rng).min(v as usize);
+        let mut attached: Vec<VertexId> = Vec::with_capacity(m_v);
+        let mut last: Option<VertexId> = None;
+        while attached.len() < m_v {
+            // Triangle step: connect to a random neighbour of the last
+            // attached vertex (if possible), else preferential step.
+            let mut target = None;
+            if let Some(w) = last {
+                if rng.gen_bool(p_triangle) {
+                    let nbrs = g.neighbors(w);
+                    if !nbrs.is_empty() {
+                        let cand = nbrs[rng.gen_range(0..nbrs.len())];
+                        if cand != v && !g.has_edge(v, cand) {
+                            target = Some(cand);
+                        }
+                    }
+                }
+            }
+            let t = target.unwrap_or_else(|| loop {
+                let cand = half_edges[rng.gen_range(0..half_edges.len())];
+                if cand != v && !g.has_edge(v, cand) {
+                    break cand;
+                }
+            });
+            g.insert_edge_unchecked(v, t);
+            attached.push(t);
+            last = Some(t);
+        }
+        for &t in &attached {
+            half_edges.push(v);
+            half_edges.push(t);
+        }
+    }
+    g
+}
+
+/// R-MAT (recursive matrix) generator — the standard model for web-graph
+/// style heavy tails. `scale` gives `n = 2^scale` vertices; `m` distinct
+/// undirected edges are produced with quadrant probabilities
+/// `(a, b, c, 1 - a - b - c)`.
+pub fn rmat(scale: u32, m: usize, a: f64, b: f64, c: f64, seed: u64) -> DynamicGraph {
+    assert!(a + b + c < 1.0);
+    let n = 1usize << scale;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = DynamicGraph::with_vertices(n);
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    seen.reserve(m);
+    let mut attempts = 0usize;
+    let max_attempts = m.saturating_mul(64);
+    while g.num_edges() < m && attempts < max_attempts {
+        attempts += 1;
+        let (mut u, mut v) = (0usize, 0usize);
+        for bit in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= du << bit;
+            v |= dv << bit;
+        }
+        let (u, v) = (u as VertexId, v as VertexId);
+        if u != v && seen.insert(edge_key(u, v)) {
+            g.insert_edge_unchecked(u, v);
+        }
+    }
+    g
+}
+
+/// Watts–Strogatz small world: ring lattice with `k_half` neighbours on
+/// each side, each edge rewired with probability `p`.
+pub fn watts_strogatz(n: usize, k_half: usize, p: f64, seed: u64) -> DynamicGraph {
+    assert!(n > 2 * k_half + 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = DynamicGraph::with_vertices(n);
+    for u in 0..n {
+        for d in 1..=k_half {
+            let v = (u + d) % n;
+            let (a, mut b) = (u as VertexId, v as VertexId);
+            if rng.gen_bool(p) {
+                // rewire the far endpoint
+                for _ in 0..16 {
+                    let cand = rng.gen_range(0..n) as VertexId;
+                    if cand != a && !g.has_edge(a, cand) {
+                        b = cand;
+                        break;
+                    }
+                }
+            }
+            if a != b && !g.has_edge(a, b) {
+                g.insert_edge_unchecked(a.min(b), a.max(b));
+            }
+        }
+    }
+    g
+}
+
+/// Road-network stand-in: a partially percolated `rows × cols` grid.
+/// Lattice edges survive with probability ~0.62 (long degree-2 corridors,
+/// average degree ≈ 2.8 like real road graphs); with probability `p_diag`
+/// a cell densifies into a K4 pocket (both diagonals + all four sides),
+/// producing the scattered core-3 regions real road networks have. A
+/// sprinkle of long-range "highways" is added on top.
+pub fn grid_road_network(rows: usize, cols: usize, p_diag: f64, seed: u64) -> DynamicGraph {
+    const P_KEEP: f64 = 0.62;
+    let n = rows * cols;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = DynamicGraph::with_vertices(n);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    fn add(g: &mut DynamicGraph, a: VertexId, b: VertexId) {
+        if !g.has_edge(a, b) {
+            g.insert_edge_unchecked(a, b);
+        }
+    }
+    // Dense K4 pockets first.
+    for r in 0..rows.saturating_sub(1) {
+        for c in 0..cols.saturating_sub(1) {
+            if rng.gen_bool(p_diag) {
+                let q = [id(r, c), id(r, c + 1), id(r + 1, c), id(r + 1, c + 1)];
+                for i in 0..4 {
+                    for j in (i + 1)..4 {
+                        add(&mut g, q[i], q[j]);
+                    }
+                }
+            }
+        }
+    }
+    // Percolated lattice corridors.
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols && rng.gen_bool(P_KEEP) {
+                add(&mut g, id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows && rng.gen_bool(P_KEEP) {
+                add(&mut g, id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    // A few highways (~n/200 long-range shortcuts).
+    for _ in 0..(n / 200).max(1) {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u != v && !g.has_edge(u, v) {
+            g.insert_edge_unchecked(u, v);
+        }
+    }
+    g
+}
+
+/// Collaboration-network stand-in (DBLP-like): `papers` author sets are
+/// drawn (a mix of repeat, degree-proportional authors and fresh ones) and
+/// cliqued. Produces the high `max k` of co-authorship graphs and a
+/// natural temporal edge order (paper by paper).
+pub fn collaboration_graph(papers: usize, n_authors: usize, seed: u64) -> DynamicGraph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = DynamicGraph::with_vertices(n_authors);
+    let mut half_edges: Vec<VertexId> = Vec::new();
+    let mut next_author = 0usize;
+    for _ in 0..papers {
+        // team size 2..=8, skewed small
+        let size = 2 + (rng.gen_range(0..6usize) * rng.gen_range(0..6usize)) / 5;
+        let mut team: Vec<VertexId> = Vec::with_capacity(size);
+        while team.len() < size {
+            let pick_new = next_author < n_authors && (half_edges.is_empty() || rng.gen_bool(0.3));
+            let a = if pick_new {
+                let a = next_author as VertexId;
+                next_author += 1;
+                a
+            } else if !half_edges.is_empty() {
+                half_edges[rng.gen_range(0..half_edges.len())]
+            } else {
+                rng.gen_range(0..n_authors) as VertexId
+            };
+            if !team.contains(&a) {
+                team.push(a);
+            }
+        }
+        for i in 0..team.len() {
+            for j in (i + 1)..team.len() {
+                let (a, b) = (team[i], team[j]);
+                if !g.has_edge(a, b) {
+                    g.insert_edge_unchecked(a, b);
+                    half_edges.push(a);
+                    half_edges.push(b);
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcore_decomp::{core_decomposition, max_core};
+
+    #[test]
+    fn gnm_has_exact_counts() {
+        let g = erdos_renyi_gnm(500, 1500, 1);
+        assert_eq!(g.num_vertices(), 500);
+        assert_eq!(g.num_edges(), 1500);
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn gnm_is_seed_deterministic() {
+        let a = erdos_renyi_gnm(200, 600, 9);
+        let b = erdos_renyi_gnm(200, 600, 9);
+        assert_eq!(a.edge_vec(), b.edge_vec());
+        let c = erdos_renyi_gnm(200, 600, 10);
+        assert_ne!(a.edge_vec(), c.edge_vec());
+    }
+
+    #[test]
+    fn ba_degeneracy_is_m_per() {
+        let g = barabasi_albert(800, 4, 3);
+        g.check_consistency().unwrap();
+        assert_eq!(g.num_edges(), 10 + (800 - 5) * 4);
+        let core = core_decomposition(&g);
+        assert_eq!(max_core(&core), 4);
+    }
+
+    #[test]
+    fn holme_kim_is_clustered_power_law() {
+        let g = holme_kim(800, 4, 0.6, 3);
+        g.check_consistency().unwrap();
+        // triangles don't change the edge count, only their placement
+        assert_eq!(g.num_edges(), 10 + (800 - 5) * 4);
+        // heavy tail: max degree far above average
+        assert!(g.max_degree() as f64 > 4.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn rmat_shape() {
+        let g = rmat(10, 4000, 0.57, 0.19, 0.19, 7);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_edges() >= 3900, "rejection loss too high");
+        g.check_consistency().unwrap();
+        // skewed: hub degree much larger than average
+        assert!(g.max_degree() as f64 > 8.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn watts_strogatz_shape() {
+        let g = watts_strogatz(500, 3, 0.1, 5);
+        g.check_consistency().unwrap();
+        // ~ n * k_half edges (some rewires may collide and drop)
+        assert!(g.num_edges() > 500 * 3 * 9 / 10);
+        let core = core_decomposition(&g);
+        assert!(max_core(&core) >= 2);
+    }
+
+    #[test]
+    fn road_grid_has_low_max_core() {
+        let g = grid_road_network(60, 60, 0.12, 11);
+        g.check_consistency().unwrap();
+        let core = core_decomposition(&g);
+        let k = max_core(&core);
+        assert!((2..=3).contains(&k), "road networks peak at core 3, got {k}");
+        assert!(g.avg_degree() < 4.5);
+    }
+
+    #[test]
+    fn collaboration_graph_has_deep_cores() {
+        let g = collaboration_graph(3000, 4000, 13);
+        g.check_consistency().unwrap();
+        let core = core_decomposition(&g);
+        // cliques of size 8 alone give core 7; overlap pushes higher
+        assert!(max_core(&core) >= 7);
+    }
+}
+
+#[cfg(test)]
+mod hetero_tests {
+    use super::*;
+    use kcore_decomp::{core_decomposition, max_core};
+
+    #[test]
+    fn heterogeneous_social_spreads_core_numbers() {
+        let g = heterogeneous_social(2000, 9, 0.4, 21);
+        g.check_consistency().unwrap();
+        let core = core_decomposition(&g);
+        let distinct: std::collections::HashSet<u32> = core.iter().copied().collect();
+        // constant-m BA would give ~1 distinct value; the mixture spreads
+        assert!(distinct.len() >= 5, "core spread too narrow: {distinct:?}");
+        assert!(max_core(&core) >= 9);
+        // mean attachment ~ 5/6 * 9 → avg degree in a sane band
+        assert!((9.0..20.0).contains(&g.avg_degree()), "{}", g.avg_degree());
+    }
+
+    #[test]
+    fn heterogeneous_social_is_deterministic() {
+        let a = heterogeneous_social(600, 5, 0.3, 4);
+        let b = heterogeneous_social(600, 5, 0.3, 4);
+        assert_eq!(a.edge_vec(), b.edge_vec());
+    }
+}
+
+/// Forest-fire model (Leskovec et al.): each arriving vertex picks an
+/// ambassador and "burns" outward with geometric fan-out `p_forward`,
+/// linking to every burned vertex. Produces densifying, shrinking-
+/// diameter graphs — another realistic temporal-social family, used by
+/// the crawl-style workloads in the examples and tests.
+pub fn forest_fire(n: usize, p_forward: f64, seed: u64) -> DynamicGraph {
+    assert!(n >= 2 && (0.0..1.0).contains(&p_forward));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut g = DynamicGraph::with_vertices(n);
+    g.insert_edge_unchecked(0, 1);
+    let mut burned: Vec<VertexId> = Vec::new();
+    let mut frontier: Vec<VertexId> = Vec::new();
+    let mut mark = vec![u32::MAX; n];
+    for v in 2..n as VertexId {
+        let ambassador = rng.gen_range(0..v);
+        burned.clear();
+        frontier.clear();
+        frontier.push(ambassador);
+        mark[ambassador as usize] = v;
+        // cap the burn to keep degrees bounded on dense seeds
+        let cap = 1 + (rng.gen_range(0..8) + rng.gen_range(0..8)) as usize;
+        while let Some(w) = frontier.pop() {
+            burned.push(w);
+            if burned.len() >= cap {
+                break;
+            }
+            // geometric number of links to follow from w
+            let mut fanout = 0usize;
+            while rng.gen_bool(p_forward) && fanout < 8 {
+                fanout += 1;
+            }
+            let nbrs = g.neighbors(w);
+            if nbrs.is_empty() {
+                continue;
+            }
+            for _ in 0..fanout {
+                let cand = nbrs[rng.gen_range(0..nbrs.len())];
+                if cand != v && mark[cand as usize] != v {
+                    mark[cand as usize] = v;
+                    frontier.push(cand);
+                }
+            }
+        }
+        for &b in &burned {
+            if !g.has_edge(v, b) {
+                g.insert_edge_unchecked(v, b);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod forest_fire_tests {
+    use super::*;
+    use kcore_decomp::core_decomposition;
+
+    #[test]
+    fn forest_fire_grows_connected_ish() {
+        let g = forest_fire(1500, 0.45, 17);
+        g.check_consistency().unwrap();
+        assert!(g.num_edges() >= 1499 / 2, "too sparse: {}", g.num_edges());
+        // densification: average degree above tree level
+        assert!(g.avg_degree() > 1.5);
+        let core = core_decomposition(&g);
+        assert!(core.iter().any(|&c| c >= 2));
+    }
+
+    #[test]
+    fn forest_fire_is_deterministic() {
+        let a = forest_fire(400, 0.4, 3);
+        let b = forest_fire(400, 0.4, 3);
+        assert_eq!(a.edge_vec(), b.edge_vec());
+    }
+}

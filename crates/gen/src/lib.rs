@@ -1,0 +1,27 @@
+//! # kcore-gen
+//!
+//! Workload substrate: seeded synthetic graph generators, a registry of
+//! eleven datasets standing in for the paper's real graphs (Table I), and
+//! the edge/vertex samplers used by the experiment protocol.
+//!
+//! The paper evaluates on SNAP/Konect dumps that are not redistributable
+//! here; each is replaced by a generator from the same *structural family*
+//! (see `DESIGN.md` §3). What the algorithms are sensitive to — degree
+//! tails, core-number distribution, subcore/pure-core size distribution —
+//! is a property of the family, which is what makes the relative results
+//! (who wins, by what factor, where Trav-h crosses over) transfer.
+//!
+//! Everything is deterministic given a seed.
+
+pub mod datasets;
+pub mod generators;
+pub mod sample;
+pub mod temporal;
+
+pub use datasets::{load_dataset, Dataset, DatasetSpec, Scale, DATASETS};
+pub use generators::{
+    barabasi_albert, collaboration_graph, erdos_renyi_gnm, forest_fire, grid_road_network,
+    heterogeneous_social, holme_kim, rmat, watts_strogatz,
+};
+pub use sample::{induced_vertex_sample, sample_edge_subgraph, sample_edges, EdgeSampler};
+pub use temporal::{timestamp_edges, SlidingWindow, WindowOp};

@@ -1,0 +1,192 @@
+//! Edge and vertex samplers implementing the experiment protocols of
+//! Section VII (update streams, Fig 11 scalability subgraphs).
+
+use kcore_graph::{DynamicGraph, FxHashSet, VertexId};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Uniformly samples `count` distinct existing edges.
+pub fn sample_edges(g: &DynamicGraph, count: usize, seed: u64) -> Vec<(VertexId, VertexId)> {
+    let mut edges = g.edge_vec();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let count = count.min(edges.len());
+    edges.partial_shuffle(&mut rng, count);
+    edges.truncate(count);
+    edges
+}
+
+/// Uniformly samples `count` distinct vertices.
+pub fn sample_vertices(g: &DynamicGraph, count: usize, seed: u64) -> Vec<VertexId> {
+    let mut vs: Vec<VertexId> = g.vertices().collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let count = count.min(vs.len());
+    vs.partial_shuffle(&mut rng, count);
+    vs.truncate(count);
+    vs
+}
+
+/// The Fig 11a protocol: sample a fraction `ratio` of the vertices and
+/// take the induced subgraph (vertex ids are preserved; non-sampled
+/// vertices become isolated).
+pub fn induced_vertex_sample(g: &DynamicGraph, ratio: f64, seed: u64) -> DynamicGraph {
+    assert!((0.0..=1.0).contains(&ratio));
+    let n = g.num_vertices();
+    let keep_n = (n as f64 * ratio) as usize;
+    let mut keep = vec![false; n];
+    for v in sample_vertices(g, keep_n, seed) {
+        keep[v as usize] = true;
+    }
+    let mut sub = DynamicGraph::with_vertices(n);
+    for (u, v) in g.edges() {
+        if keep[u as usize] && keep[v as usize] {
+            sub.insert_edge_unchecked(u, v);
+        }
+    }
+    sub
+}
+
+/// The Fig 11c protocol: sample a fraction `ratio` of the edges, keeping
+/// their incident vertices.
+pub fn sample_edge_subgraph(g: &DynamicGraph, ratio: f64, seed: u64) -> DynamicGraph {
+    assert!((0.0..=1.0).contains(&ratio));
+    let m = g.num_edges();
+    let take = (m as f64 * ratio) as usize;
+    let edges = sample_edges(g, take, seed);
+    let mut sub = DynamicGraph::with_vertices(g.num_vertices());
+    for (u, v) in edges {
+        sub.insert_edge_unchecked(u, v);
+    }
+    sub
+}
+
+/// A reusable mixed-workload sampler: yields insert/remove operations
+/// against a live graph, keeping track of which edges currently exist
+/// (used by the Fig 12 stability experiment with removal probability `p`).
+pub struct EdgeSampler {
+    rng: SmallRng,
+    /// Edges currently present (insertable pool drained as we go).
+    pool: Vec<(VertexId, VertexId)>,
+    /// Edges inserted so far (candidates for removal).
+    inserted: Vec<(VertexId, VertexId)>,
+    seen: FxHashSet<u64>,
+}
+
+/// One operation from the sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Insert this edge.
+    Insert(VertexId, VertexId),
+    /// Remove this edge.
+    Remove(VertexId, VertexId),
+}
+
+impl EdgeSampler {
+    /// A sampler that replays `pool` (insertions) and, with probability
+    /// `p` after each insertion, removes a random previously inserted
+    /// edge.
+    pub fn new(pool: Vec<(VertexId, VertexId)>, seed: u64) -> Self {
+        EdgeSampler {
+            rng: SmallRng::seed_from_u64(seed),
+            pool,
+            inserted: Vec::new(),
+            seen: FxHashSet::default(),
+        }
+    }
+
+    /// Next insertion (None when the pool is drained).
+    pub fn next_insert(&mut self) -> Option<Op> {
+        let e = self.pool.pop()?;
+        self.inserted.push(e);
+        self.seen.insert(kcore_graph::edge_key(e.0, e.1));
+        Some(Op::Insert(e.0, e.1))
+    }
+
+    /// With probability `p`, a removal of a random previously inserted
+    /// edge.
+    pub fn maybe_remove(&mut self, p: f64) -> Option<Op> {
+        if self.inserted.is_empty() || !self.rng.gen_bool(p) {
+            return None;
+        }
+        let idx = self.rng.gen_range(0..self.inserted.len());
+        let e = self.inserted.swap_remove(idx);
+        self.seen.remove(&kcore_graph::edge_key(e.0, e.1));
+        Some(Op::Remove(e.0, e.1))
+    }
+
+    /// Remaining pool length.
+    pub fn remaining(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcore_graph::fixtures;
+
+    #[test]
+    fn edge_samples_are_distinct_and_present() {
+        let g = fixtures::clique(10); // 45 edges
+        let s = sample_edges(&g, 20, 3);
+        assert_eq!(s.len(), 20);
+        let mut keys: Vec<u64> = s.iter().map(|&(u, v)| kcore_graph::edge_key(u, v)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 20);
+        for (u, v) in s {
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn sample_more_than_available_clamps() {
+        let g = fixtures::triangle();
+        assert_eq!(sample_edges(&g, 50, 1).len(), 3);
+        assert_eq!(sample_vertices(&g, 50, 1).len(), 3);
+    }
+
+    #[test]
+    fn induced_sample_keeps_only_sampled_pairs() {
+        let g = fixtures::clique(20);
+        let sub = induced_vertex_sample(&g, 0.5, 7);
+        let kept: Vec<_> = sub.vertices().filter(|&v| sub.degree(v) > 0).collect();
+        assert_eq!(kept.len(), 10);
+        assert_eq!(sub.num_edges(), 10 * 9 / 2);
+    }
+
+    #[test]
+    fn edge_subgraph_ratio() {
+        let g = fixtures::clique(30); // 435 edges
+        let sub = sample_edge_subgraph(&g, 0.4, 11);
+        assert_eq!(sub.num_edges(), 174);
+        sub.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn sampler_tracks_inserted_edges() {
+        let mut s = EdgeSampler::new(vec![(0, 1), (1, 2), (2, 3)], 5);
+        let mut inserts = 0;
+        while let Some(Op::Insert(..)) = s.next_insert() {
+            inserts += 1;
+        }
+        assert_eq!(inserts, 3);
+        assert_eq!(s.remaining(), 0);
+        // p = 1.0 must produce removals until the inserted list drains
+        let mut removals = 0;
+        while let Some(Op::Remove(..)) = s.maybe_remove(1.0) {
+            removals += 1;
+        }
+        assert_eq!(removals, 3);
+        assert!(s.maybe_remove(1.0).is_none());
+    }
+
+    #[test]
+    fn zero_probability_never_removes() {
+        let mut s = EdgeSampler::new(vec![(0, 1)], 5);
+        s.next_insert();
+        for _ in 0..100 {
+            assert!(s.maybe_remove(0.0).is_none());
+        }
+    }
+}

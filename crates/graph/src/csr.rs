@@ -1,0 +1,140 @@
+//! A frozen CSR (compressed sparse row) snapshot of a graph.
+//!
+//! The mutable [`crate::DynamicGraph`] pays one heap allocation per
+//! vertex; for *static* passes over large graphs (index construction,
+//! the Fig 5 region analysis, offline decompositions) a CSR layout —
+//! one offsets array plus one contiguous neighbour array — removes the
+//! pointer chasing and roughly halves the memory. `kcore-decomp`
+//! exposes a CSR-specialised decomposition; the `index_build` Criterion
+//! bench quantifies the difference.
+
+use crate::graph::{DynamicGraph, VertexId};
+
+/// Immutable CSR graph. Build from a [`DynamicGraph`] via `From`.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    offsets: Vec<u32>,
+    targets: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Neighbours of `v` (sorted ascending).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// Binary-search membership probe (`O(log deg)` — neighbour lists
+    /// are sorted).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let (probe, target) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(probe).binary_search(&target).is_ok()
+    }
+
+    /// Thaws back into a mutable graph.
+    pub fn to_dynamic(&self) -> DynamicGraph {
+        let mut g = DynamicGraph::with_vertices(self.num_vertices());
+        for v in 0..self.num_vertices() as VertexId {
+            for &w in self.neighbors(v) {
+                if v < w {
+                    g.insert_edge_unchecked(v, w);
+                }
+            }
+        }
+        g
+    }
+}
+
+impl From<&DynamicGraph> for CsrGraph {
+    fn from(g: &DynamicGraph) -> Self {
+        let n = g.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut total = 0u32;
+        for v in 0..n as VertexId {
+            total += g.degree(v) as u32;
+            offsets.push(total);
+        }
+        let mut targets = vec![0 as VertexId; total as usize];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for v in 0..n as VertexId {
+            for &w in g.neighbors(v) {
+                targets[cursor[v as usize] as usize] = w;
+                cursor[v as usize] += 1;
+            }
+        }
+        // sort each row for binary-search probes
+        for v in 0..n {
+            let (s, e) = (offsets[v] as usize, offsets[v + 1] as usize);
+            targets[s..e].sort_unstable();
+        }
+        CsrGraph { offsets, targets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn csr_mirrors_dynamic() {
+        let g = fixtures::PaperGraph::small().graph;
+        let csr = CsrGraph::from(&g);
+        assert_eq!(csr.num_vertices(), g.num_vertices());
+        assert_eq!(csr.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            assert_eq!(csr.degree(v), g.degree(v));
+            let mut expected = g.neighbors(v).to_vec();
+            expected.sort_unstable();
+            assert_eq!(csr.neighbors(v), &expected[..]);
+        }
+        for (u, v) in g.edges() {
+            assert!(csr.has_edge(u, v) && csr.has_edge(v, u));
+        }
+        assert!(!csr.has_edge(0, 5));
+    }
+
+    #[test]
+    fn thaw_roundtrip() {
+        let g = fixtures::petersen();
+        let csr = CsrGraph::from(&g);
+        let g2 = csr.to_dynamic();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(g2.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = DynamicGraph::with_vertices(3);
+        let csr = CsrGraph::from(&g);
+        assert_eq!(csr.num_vertices(), 3);
+        assert_eq!(csr.num_edges(), 0);
+        assert_eq!(csr.degree(1), 0);
+        assert!(csr.neighbors(2).is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! Shared test graphs, including the running example of the paper (Fig 3).
+//!
+//! The paper's sample graph `G` consists of
+//!
+//! * `u0 … u2000`: a 1-core region — two long chains hanging off `u0`
+//!   (odd indices `u1–u3–…–u1997` plus leaf `u1999`, even indices
+//!   `u2–u4–…–u1998` plus leaf `u2000`);
+//! * `v1 … v5`: the unique 2-subcore (`v3` is its hub);
+//! * `v6 … v9` and `v10 … v13`: two 4-cliques, the two 3-subcores;
+//! * the bridge `u0 – v5` and the cross edges `v2 – v7`, `v1 – v6`,
+//!   `v1 – v10` linking the regions.
+//!
+//! This edge list is pinned down by the paper's own numbers: the `mcd`/`pcd`
+//! annotations of Fig 3, the `cd` values of Fig 4, the `deg⁺` values of the
+//! k-order in Fig 6 (`O1: u2000 … u0`, `O2: v4 v5 v3 v2 v1`,
+//! `O3: v8 v9 v7 v6 v13 v12 v11 v10`), and the traces of Examples 4.1, 4.2,
+//! 5.1 and 5.2. Unit tests across the workspace assert exactly those values.
+
+use crate::graph::{DynamicGraph, VertexId};
+
+/// The paper's Fig 3 graph with a configurable chain length.
+///
+/// `chain` is the number of `u`-vertices besides `u0`; the paper uses
+/// `chain = 2000`. `chain` must be even and at least 4 so that both the odd
+/// and even chains have an interior vertex and a leaf.
+pub struct PaperGraph {
+    /// The constructed graph.
+    pub graph: DynamicGraph,
+    chain: u32,
+}
+
+impl PaperGraph {
+    /// Builds the Fig 3 graph with `u0 … u_chain` (the paper's instance is
+    /// [`PaperGraph::full`]; tests mostly use [`PaperGraph::small`]).
+    pub fn new(chain: u32) -> Self {
+        assert!(chain >= 4 && chain.is_multiple_of(2), "chain must be even and >= 4");
+        let n = chain as usize + 1 + 13;
+        let mut g = DynamicGraph::with_vertices(n);
+
+        // u-region: u0 is vertex 0, u_i is vertex i.
+        // Odd chain u1 - u3 - ... - u_{chain-3}, leaf u_{chain-1}.
+        g.insert_edge(0, 1).unwrap();
+        let mut i = 1;
+        while i + 2 <= chain - 3 {
+            g.insert_edge(i, i + 2).unwrap();
+            i += 2;
+        }
+        g.insert_edge(chain - 3, chain - 1).unwrap();
+        // Even chain u2 - u4 - ... - u_{chain-2}, leaf u_chain.
+        g.insert_edge(0, 2).unwrap();
+        let mut i = 2;
+        while i + 2 <= chain - 2 {
+            g.insert_edge(i, i + 2).unwrap();
+            i += 2;
+        }
+        g.insert_edge(chain - 2, chain).unwrap();
+
+        let v = |j: u32| chain + j; // v_j lives at id chain + j
+
+        // 2-subcore {v1..v5}: edges v1-v2, v2-v3, v3-v4, v4-v5, v3-v5, v3-v1.
+        g.insert_edge(v(1), v(2)).unwrap();
+        g.insert_edge(v(2), v(3)).unwrap();
+        g.insert_edge(v(3), v(4)).unwrap();
+        g.insert_edge(v(4), v(5)).unwrap();
+        g.insert_edge(v(3), v(5)).unwrap();
+        g.insert_edge(v(3), v(1)).unwrap();
+        // Bridge from the 1-core region.
+        g.insert_edge(0, v(5)).unwrap();
+        // 3-subcores: two 4-cliques.
+        for base in [6, 10] {
+            for a in 0..4 {
+                for b in (a + 1)..4 {
+                    g.insert_edge(v(base + a), v(base + b)).unwrap();
+                }
+            }
+        }
+        // Cross edges anchoring the v-region deg+ values of Fig 6.
+        g.insert_edge(v(2), v(7)).unwrap();
+        g.insert_edge(v(1), v(6)).unwrap();
+        g.insert_edge(v(1), v(10)).unwrap();
+
+        PaperGraph { graph: g, chain }
+    }
+
+    /// The exact instance of the paper: `u0 … u2000`.
+    pub fn full() -> Self {
+        PaperGraph::new(2000)
+    }
+
+    /// A 21-vertex `u`-region variant, same structure, test-sized.
+    pub fn small() -> Self {
+        PaperGraph::new(20)
+    }
+
+    /// Vertex id of `u_i` (`0 <= i <= chain`).
+    #[inline]
+    pub fn u(&self, i: u32) -> VertexId {
+        debug_assert!(i <= self.chain);
+        i
+    }
+
+    /// Vertex id of `v_j` (`1 <= j <= 13`).
+    #[inline]
+    pub fn v(&self, j: u32) -> VertexId {
+        debug_assert!((1..=13).contains(&j));
+        self.chain + j
+    }
+
+    /// Number of `u`-vertices besides `u0`.
+    #[inline]
+    pub fn chain(&self) -> u32 {
+        self.chain
+    }
+
+    /// The expected core number of every vertex (the paper's Example 3.1).
+    pub fn expected_cores(&self) -> Vec<u32> {
+        let mut core = vec![1u32; self.graph.num_vertices()];
+        for j in 1..=5 {
+            core[self.v(j) as usize] = 2;
+        }
+        for j in 6..=13 {
+            core[self.v(j) as usize] = 3;
+        }
+        core
+    }
+}
+
+/// A triangle (3-cycle): every vertex has core number 2.
+pub fn triangle() -> DynamicGraph {
+    cycle(3)
+}
+
+/// A simple path `0 - 1 - … - (n-1)`; every vertex has core number 1.
+pub fn path(n: usize) -> DynamicGraph {
+    assert!(n >= 2);
+    let mut g = DynamicGraph::with_vertices(n);
+    for i in 0..n - 1 {
+        g.insert_edge(i as VertexId, i as VertexId + 1).unwrap();
+    }
+    g
+}
+
+/// A cycle on `n >= 3` vertices; every vertex has core number 2.
+pub fn cycle(n: usize) -> DynamicGraph {
+    assert!(n >= 3);
+    let mut g = path(n);
+    g.insert_edge(n as VertexId - 1, 0).unwrap();
+    g
+}
+
+/// The complete graph `K_n`; every vertex has core number `n - 1`.
+pub fn clique(n: usize) -> DynamicGraph {
+    let mut g = DynamicGraph::with_vertices(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            g.insert_edge(a as VertexId, b as VertexId).unwrap();
+        }
+    }
+    g
+}
+
+/// A star with `n` leaves around vertex 0; every vertex has core number 1.
+pub fn star(n: usize) -> DynamicGraph {
+    assert!(n >= 1);
+    let mut g = DynamicGraph::with_vertices(n + 1);
+    for i in 1..=n {
+        g.insert_edge(0, i as VertexId).unwrap();
+    }
+    g
+}
+
+/// Two `K_4`s joined by a single bridge edge; the bridge endpoints keep core
+/// number 3 and the bridge itself is in no 2-core cycle.
+pub fn two_cliques_bridge() -> DynamicGraph {
+    let mut g = DynamicGraph::with_vertices(8);
+    for base in [0u32, 4u32] {
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                g.insert_edge(base + a, base + b).unwrap();
+            }
+        }
+    }
+    g.insert_edge(3, 4).unwrap();
+    g
+}
+
+/// The Petersen graph: 3-regular, so every vertex has core number 3.
+pub fn petersen() -> DynamicGraph {
+    let mut g = DynamicGraph::with_vertices(10);
+    for i in 0..5u32 {
+        g.insert_edge(i, (i + 1) % 5).unwrap(); // outer 5-cycle
+        g.insert_edge(5 + i, 5 + (i + 2) % 5).unwrap(); // inner pentagram
+        g.insert_edge(i, 5 + i).unwrap(); // spokes
+    }
+    g
+}
+
+/// Complete bipartite graph `K_{a,b}`; every vertex has core `min(a, b)`.
+pub fn complete_bipartite(a: usize, b: usize) -> DynamicGraph {
+    let mut g = DynamicGraph::with_vertices(a + b);
+    for x in 0..a {
+        for y in 0..b {
+            g.insert_edge(x as VertexId, (a + y) as VertexId).unwrap();
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_graph_small_shape() {
+        let pg = PaperGraph::small();
+        let g = &pg.graph;
+        g.check_consistency().unwrap();
+        assert_eq!(g.num_vertices(), 21 + 13);
+        // u0 is adjacent to u1, u2 and v5.
+        let mut nbrs: Vec<_> = g.neighbors(pg.u(0)).to_vec();
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, vec![pg.u(1), pg.u(2), pg.v(5)]);
+        // Leaves have degree 1.
+        assert_eq!(g.degree(pg.u(19)), 1);
+        assert_eq!(g.degree(pg.u(20)), 1);
+        // v3 is the hub of the 2-subcore.
+        assert_eq!(g.degree(pg.v(3)), 4);
+        // Clique vertices: 3 intra-clique edges (+1 for v6, v7, v10).
+        assert_eq!(g.degree(pg.v(8)), 3);
+        assert_eq!(g.degree(pg.v(7)), 4);
+    }
+
+    #[test]
+    fn paper_graph_full_matches_paper_scale() {
+        let pg = PaperGraph::full();
+        assert_eq!(pg.graph.num_vertices(), 2001 + 13);
+        assert_eq!(pg.graph.degree(pg.u(1997)), 2); // u1995 and u1999
+        assert_eq!(pg.graph.degree(pg.u(1999)), 1);
+        assert!(pg.graph.has_edge(pg.u(1997), pg.u(1999)));
+        assert!(pg.graph.has_edge(pg.u(1998), pg.u(2000)));
+        pg.graph.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn fixture_shapes() {
+        assert_eq!(triangle().num_edges(), 3);
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(clique(5).num_edges(), 10);
+        assert_eq!(star(6).num_edges(), 6);
+        assert_eq!(two_cliques_bridge().num_edges(), 13);
+        let p = petersen();
+        assert_eq!(p.num_edges(), 15);
+        assert!(p.vertices().all(|v| p.degree(v) == 3));
+        let kb = complete_bipartite(2, 3);
+        assert_eq!(kb.num_edges(), 6);
+    }
+}

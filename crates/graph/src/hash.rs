@@ -1,0 +1,145 @@
+//! Fx-style hashing for integer-keyed maps and sets.
+//!
+//! The default `std` hasher (SipHash 1-3) is collision-resistant but slow
+//! for the 4–8 byte integer keys that dominate this workspace (vertex ids,
+//! packed edge keys). The Firefox/rustc "Fx" multiply-rotate hash is the
+//! standard fast replacement; since `rustc-hash` is not among the allowed
+//! offline dependencies, the algorithm (public domain, ~20 lines) is
+//! implemented here.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant used by the Fx hash (64-bit golden-ratio mix).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Streaming Fx hasher: `state = (rotl(state, 5) ^ word) * SEED` per word.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path, only hit for non-integer keys (rare here): fold the
+        // byte stream 8 bytes at a time.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        self.add_to_hash(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with the Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i, i * 3);
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&i), Some(&(i * 3)));
+        }
+        assert_eq!(m.len(), 10_000);
+    }
+
+    #[test]
+    fn set_dedups() {
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        for i in 0..1000u32 {
+            s.insert(i % 100);
+        }
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn hash_distributes_sequential_keys() {
+        // Sequential integers must not collide in the low bits too badly;
+        // check that a table the size of the key range has decent occupancy
+        // of distinct hashes.
+        let mut hashes: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..4096u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            hashes.insert(h.finish());
+        }
+        assert_eq!(hashes.len(), 4096, "sequential keys must hash distinctly");
+    }
+
+    #[test]
+    fn byte_stream_matches_length_sensitivity() {
+        let mut a = FxHasher::default();
+        a.write(b"abc");
+        let mut b = FxHasher::default();
+        b.write(b"abc\0");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn small_writes_feed_state() {
+        let mut h = FxHasher::default();
+        h.write_u8(7);
+        h.write_u16(9);
+        h.write_u32(11);
+        h.write_usize(13);
+        assert_ne!(h.finish(), 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Degree and size statistics used by Table I and the workload reports.
+
+use crate::graph::DynamicGraph;
+
+/// Summary statistics of a graph (the columns of the paper's Table I, minus
+/// `max k`, which needs a core decomposition and therefore lives upstream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of undirected edges.
+    pub m: usize,
+    /// Average degree `2m/n`.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: usize,
+}
+
+/// Computes [`GraphStats`] for a graph.
+pub fn graph_stats(g: &DynamicGraph) -> GraphStats {
+    GraphStats {
+        n: g.num_vertices(),
+        m: g.num_edges(),
+        avg_degree: g.avg_degree(),
+        max_degree: g.max_degree(),
+        isolated: g.vertices().filter(|&v| g.degree(v) == 0).count(),
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of vertices of degree `d`.
+pub fn degree_histogram(g: &DynamicGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Cumulative distribution over arbitrary per-vertex values: returns
+/// `(threshold, fraction_of_vertices_with_value <= threshold)` pairs at
+/// round thresholds `1, 2, 5, 10, 20, 50, …` up to the max value.
+///
+/// This is the presentation used by the paper's Fig 5 and Fig 10.
+pub fn cumulative_distribution(values: &[usize]) -> Vec<(usize, f64)> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let max = values.iter().copied().max().unwrap_or(0);
+    let mut thresholds = Vec::new();
+    let mut t = 1usize;
+    while t < max {
+        for factor in [1usize, 2, 5] {
+            let v = t * factor;
+            if v <= max {
+                thresholds.push(v);
+            }
+        }
+        t *= 10;
+    }
+    thresholds.push(max);
+    thresholds.dedup();
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    thresholds
+        .into_iter()
+        .map(|th| {
+            let cnt = sorted.partition_point(|&x| x <= th);
+            (th, cnt as f64 / n)
+        })
+        .collect()
+}
+
+/// Buckets a set of counts into the paper's Fig 1 bands:
+/// `<=3`, `(3,10]`, `(10,100]`, `(100,1000]`, `>1000`; returns proportions.
+pub fn fig1_buckets(values: &[usize]) -> [f64; 5] {
+    let mut counts = [0usize; 5];
+    for &v in values {
+        let idx = if v <= 3 {
+            0
+        } else if v <= 10 {
+            1
+        } else if v <= 100 {
+            2
+        } else if v <= 1000 {
+            3
+        } else {
+            4
+        };
+        counts[idx] += 1;
+    }
+    let total = values.len().max(1) as f64;
+    let mut out = [0.0f64; 5];
+    for i in 0..5 {
+        out[i] = counts[i] as f64 / total;
+    }
+    out
+}
+
+/// Human-readable labels matching [`fig1_buckets`].
+pub const FIG1_BUCKET_LABELS: [&str; 5] = ["<=3", ">3,<=10", ">10,<=100", ">100,<=1000", ">1000"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn stats_of_star() {
+        let s = graph_stats(&fixtures::star(5));
+        assert_eq!(s.n, 6);
+        assert_eq!(s.m, 5);
+        assert_eq!(s.max_degree, 5);
+        assert_eq!(s.isolated, 0);
+        assert!((s.avg_degree - 10.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_of_path() {
+        let h = degree_histogram(&fixtures::path(5));
+        assert_eq!(h, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn cumulative_distribution_reaches_one() {
+        let values = vec![1, 1, 2, 3, 10, 100, 2500];
+        let cd = cumulative_distribution(&values);
+        let (last_t, last_f) = *cd.last().unwrap();
+        assert_eq!(last_t, 2500);
+        assert!((last_f - 1.0).abs() < 1e-12);
+        // monotone non-decreasing
+        for w in cd.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn cumulative_distribution_empty() {
+        assert!(cumulative_distribution(&[]).is_empty());
+    }
+
+    #[test]
+    fn fig1_bucket_assignment() {
+        let b = fig1_buckets(&[1, 2, 3, 4, 10, 11, 100, 101, 1000, 1001]);
+        assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((b[0] - 0.3).abs() < 1e-12);
+        assert!((b[1] - 0.2).abs() < 1e-12);
+        assert!((b[2] - 0.2).abs() < 1e-12);
+        assert!((b[3] - 0.2).abs() < 1e-12);
+        assert!((b[4] - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests of the graph substrate against a `HashSet` edge
+//! model, plus I/O round-trips.
+
+use kcore_graph::io::{read_edge_list, write_edge_list};
+use kcore_graph::{edge_key, DynamicGraph};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone, Copy)]
+enum GOp {
+    Insert(u32, u32),
+    Remove(u32, u32),
+    Probe(u32, u32),
+}
+
+fn arb_ops(n: u32, len: usize) -> impl Strategy<Value = Vec<GOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..n, 0..n).prop_map(|(a, b)| GOp::Insert(a, b)),
+            (0..n, 0..n).prop_map(|(a, b)| GOp::Remove(a, b)),
+            (0..n, 0..n).prop_map(|(a, b)| GOp::Probe(a, b)),
+        ],
+        0..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn graph_matches_edge_set_model(ops in arb_ops(24, 200)) {
+        let mut g = DynamicGraph::with_vertices(24);
+        let mut model: HashSet<u64> = HashSet::new();
+        for op in ops {
+            match op {
+                GOp::Insert(a, b) => {
+                    let r = g.insert_edge(a, b);
+                    if a == b {
+                        prop_assert!(r.is_err());
+                    } else if model.contains(&edge_key(a, b)) {
+                        prop_assert!(r.is_err());
+                    } else {
+                        prop_assert!(r.is_ok());
+                        model.insert(edge_key(a, b));
+                    }
+                }
+                GOp::Remove(a, b) => {
+                    let r = g.remove_edge(a, b);
+                    prop_assert_eq!(r.is_ok(), model.remove(&edge_key(a, b)));
+                }
+                GOp::Probe(a, b) => {
+                    prop_assert_eq!(g.has_edge(a, b), model.contains(&edge_key(a, b)));
+                }
+            }
+            prop_assert_eq!(g.num_edges(), model.len());
+        }
+        g.check_consistency().unwrap();
+        // degree sums and edge iteration agree with the model
+        let listed: HashSet<u64> =
+            g.edges().map(|(u, v)| edge_key(u, v)).collect();
+        prop_assert_eq!(listed, model);
+    }
+
+    #[test]
+    fn io_roundtrip_preserves_graphs(ops in arb_ops(16, 80)) {
+        let mut g = DynamicGraph::with_vertices(16);
+        for op in ops {
+            if let GOp::Insert(a, b) = op {
+                let _ = g.insert_edge(a, b);
+            }
+        }
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let edges = read_edge_list(std::io::Cursor::new(buf)).unwrap();
+        let mut g2 = DynamicGraph::with_vertices(16);
+        for (u, v) in edges {
+            g2.ensure_vertex(u.max(v));
+            g2.insert_edge(u, v).unwrap();
+        }
+        prop_assert_eq!(g2.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            prop_assert!(g2.has_edge(u, v));
+        }
+    }
+}

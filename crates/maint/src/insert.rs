@@ -1,0 +1,278 @@
+//! `OrderInsert` — Algorithm 2 of the paper, with `RemoveCandidates`
+//! (Algorithm 3).
+//!
+//! One pass over `O_K` starting at the root (the earlier endpoint of the
+//! new edge), *jumping* between the vertices that still need attention via
+//! the min-heap `B` keyed by pass-start ranks:
+//!
+//! * **Case-1** (`deg* + deg⁺ > K`): the vertex becomes a candidate
+//!   (joins `VC`, leaves `O_K`), and grants one `deg*` to every later
+//!   same-core neighbour — which thereby enters `B`;
+//! * **Case-2a** (`deg* = 0`): never popped from `B` at all — these are
+//!   the vertices the algorithm skips wholesale, the source of its
+//!   advantage over the traversal DFS;
+//! * **Case-2b** (`deg* > 0`, total `<= K`): the vertex stays at level
+//!   `K`, folds `deg*` into `deg⁺` (its candidate neighbours will end up
+//!   after it either way), and retracts itself from the candidates'
+//!   budgets — possibly cascading demotions out of `VC`
+//!   (`RemoveCandidates`), each demoted vertex re-entering `O_K` right
+//!   after the current frontier (Observation 6.1).
+//!
+//! When `B` drains, `VC` is exactly `V*`: those cores rise to `K + 1`, the
+//! vertices move (order-preserved) to the *front* of `O_{K+1}`, and
+//! `deg⁺`/`mcd` are repaired around them.
+
+use crate::order_core::OrderCore;
+use kcore_graph::{EdgeListError, VertexId};
+use kcore_order::OrderSeq;
+use kcore_traversal::UpdateStats;
+
+impl<S: OrderSeq> OrderCore<S> {
+    /// Inserts the edge `(u, v)`, updating core numbers and the k-order.
+    /// Errors (with no state change) on self loops, duplicates, and
+    /// unknown endpoints.
+    #[allow(clippy::needless_range_loop)]
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
+        let n = self.graph.num_vertices() as VertexId;
+        if u == v {
+            return Err(EdgeListError::SelfLoop(u));
+        }
+        if u >= n {
+            return Err(EdgeListError::UnknownVertex(u));
+        }
+        if v >= n {
+            return Err(EdgeListError::UnknownVertex(v));
+        }
+        if self.graph.has_edge(u, v) {
+            return Err(EdgeListError::Duplicate(u, v));
+        }
+        self.graph.insert_edge_unchecked(u, v);
+        let mut stats = UpdateStats::default();
+
+        // mcd reflects the new edge immediately (old core numbers).
+        let (cu, cv) = (self.core[u as usize], self.core[v as usize]);
+        if cv >= cu {
+            self.mcd[u as usize] += 1;
+        }
+        if cu >= cv {
+            self.mcd[v as usize] += 1;
+        }
+
+        // Root = the earlier endpoint in k-order; it gains the deg⁺.
+        let root = if cu < cv {
+            u
+        } else if cv < cu {
+            v
+        } else if self.seqs[cu as usize].precedes(self.node[u as usize], self.node[v as usize]) {
+            u
+        } else {
+            v
+        };
+        let k = self.core[root as usize];
+        self.deg_plus[root as usize] += 1;
+        if self.deg_plus[root as usize] <= k {
+            // Lemma 5.2: O_K is still a valid k-order; nothing changes.
+            return Ok(stats);
+        }
+
+        self.ensure_level(k + 1);
+        let epoch = self.bump_epoch();
+        self.vc.clear();
+        self.demotions.clear();
+        let mut heap = std::mem::take(&mut self.heap);
+        heap.clear();
+        heap.push(self.seqs[k as usize].order_key(self.node[root as usize]), root);
+
+        // ---- the pass (core phase of Algorithm 2) ----
+        loop {
+            let popped = heap.pop_valid(|w| {
+                let wi = w as usize;
+                self.vc_mark[wi] != epoch && (self.star(w, epoch) > 0 || self.deg_plus[wi] > k)
+            });
+            let Some((_, w)) = popped else { break };
+            stats.visited += 1;
+            let wi = w as usize;
+            let star_w = self.star(w, epoch);
+            if star_w + self.deg_plus[wi] > k {
+                // Case-1: w is a potential candidate.
+                self.lists.remove(w);
+                self.vc_mark[wi] = epoch;
+                self.vc.push(w);
+                // Grant candidate degree to later same-core neighbours.
+                for i in 0..self.graph.degree(w) {
+                    let z = self.graph.neighbors(w)[i];
+                    let zi = z as usize;
+                    if self.core[zi] == k
+                        && self.seqs[k as usize].precedes(self.node[wi], self.node[zi])
+                    {
+                        let new = self.star_add(z, epoch, 1);
+                        if new == 1 {
+                            heap.push(self.seqs[k as usize].order_key(self.node[zi]), z);
+                        }
+                    }
+                }
+            } else {
+                // Case-2b (Case-2a vertices never enter the heap): w stays
+                // at level K; its candidate neighbours will sit after it in
+                // the new order whether they are promoted or demoted, so
+                // deg* folds into deg⁺.
+                debug_assert!(star_w > 0);
+                self.deg_plus[wi] += star_w;
+                self.star_add(w, epoch, -(star_w as i64));
+                self.remove_candidates(w, k, epoch);
+            }
+        }
+        self.heap = heap;
+
+        // ---- ending phase ----
+        // Surviving candidates are V*.
+        let mut vstar = std::mem::take(&mut self.vstar);
+        vstar.clear();
+        vstar.extend(self.vc.iter().copied().filter(|&w| self.vc_mark[w as usize] == epoch));
+        stats.changed = vstar.len();
+
+        for (i, &w) in vstar.iter().enumerate() {
+            self.core[w as usize] = k + 1;
+            self.vc_pos[w as usize] = i as u32;
+        }
+
+        // deg⁺ of promoted vertices: later V* members (V* keeps its
+        // relative order at the *front* of O_{K+1}), everything already in
+        // O_{K+1}, and higher levels. (Index loops here and below sidestep
+        // holding &self borrows across &mut accesses.)
+        for (i, &w) in vstar.iter().enumerate() {
+            let mut dp = 0u32;
+            for j in 0..self.graph.degree(w) {
+                let z = self.graph.neighbors(w)[j];
+                let zi = z as usize;
+                let cz = self.core[zi];
+                if cz > k + 1 {
+                    dp += 1;
+                } else if cz == k + 1 {
+                    if self.vc_mark[zi] == epoch {
+                        if (self.vc_pos[zi] as usize) > i {
+                            dp += 1;
+                        }
+                    } else {
+                        dp += 1; // original O_{K+1} member: after all of V*
+                    }
+                }
+            }
+            self.deg_plus[w as usize] = dp;
+            stats.refreshed += 1;
+        }
+
+        // mcd repair: promoted vertices are recomputed; their neighbours
+        // already at level K+1 gain one.
+        for idx in 0..vstar.len() {
+            let w = vstar[idx];
+            let mut m = 0u32;
+            for j in 0..self.graph.degree(w) {
+                let z = self.graph.neighbors(w)[j];
+                let zi = z as usize;
+                if self.core[zi] > k {
+                    m += 1;
+                }
+                if self.core[zi] == k + 1 && self.vc_mark[zi] != epoch {
+                    self.mcd[zi] += 1;
+                    stats.refreshed += 1;
+                }
+            }
+            self.mcd[w as usize] = m;
+        }
+
+        // A_K repairs deferred from the pass: first the Observation 6.1
+        // repositionings (demoted vertices re-entered O_K out of their old
+        // positions), then the promotion moves into A_{K+1}.
+        for idx in 0..self.demotions.len() {
+            let (d, pred) = self.demotions[idx];
+            self.seqs[k as usize].remove(self.node[d as usize]);
+            self.node[d as usize] = self
+                .seqs[k as usize]
+                .insert_after(self.node[pred as usize], d);
+        }
+        for &w in vstar.iter() {
+            self.seqs[k as usize].remove(self.node[w as usize]);
+        }
+        for &w in vstar.iter().rev() {
+            self.node[w as usize] = self.seqs[k as usize + 1].insert_first(w);
+            self.lists.push_front(k + 1, w);
+        }
+
+        self.vstar = vstar;
+        Ok(stats)
+    }
+
+    /// Algorithm 3: the frontier vertex `w` has just been ruled out of
+    /// `V*`; retract its contribution from the candidates and cascade
+    /// demotions out of `VC`. Demoted vertices rejoin `O_K` right after
+    /// the current frontier, preserving queue order.
+    fn remove_candidates(&mut self, w: VertexId, k: u32, epoch: u32) {
+        self.queue.clear();
+        let wi = w as usize;
+        // w will stay at level K: candidates counted it in deg⁺.
+        for i in 0..self.graph.degree(w) {
+            let z = self.graph.neighbors(w)[i];
+            let zi = z as usize;
+            if self.vc_mark[zi] == epoch {
+                self.deg_plus[zi] -= 1;
+                if self.deg_plus[zi] + self.star(z, epoch) <= k && self.queue_mark[zi] != epoch {
+                    self.queue_mark[zi] = epoch;
+                    self.queue.push(z);
+                }
+            }
+        }
+        let mut cursor = w;
+        let mut qi = 0;
+        while qi < self.queue.len() {
+            let d = self.queue[qi];
+            qi += 1;
+            let di = d as usize;
+            // Demote d: leave VC, fold deg* into deg⁺, rejoin O_K after
+            // the cursor.
+            let star_d = self.star(d, epoch);
+            self.deg_plus[di] += star_d;
+            self.star_add(d, epoch, -(star_d as i64));
+            self.vc_mark[di] = 0;
+            self.lists.insert_after(k, cursor, d);
+            self.demotions.push((d, cursor));
+            cursor = d;
+
+            for i in 0..self.graph.degree(d) {
+                let z = self.graph.neighbors(d)[i];
+                let zi = z as usize;
+                if self.core[zi] != k {
+                    continue;
+                }
+                if self.seqs[k as usize].precedes(self.node[wi], self.node[zi]) {
+                    // Unvisited vertex after the frontier: loses one
+                    // candidate-granted degree (heap entry goes stale
+                    // lazily if this was its last).
+                    self.star_add(z, epoch, -1);
+                } else if self.vc_mark[zi] == epoch {
+                    // A remaining candidate: d contributed either through
+                    // deg* (d was after z? no — through position) …
+                    // d granted z a deg* if d preceded z, else z counted d
+                    // in deg⁺.
+                    if self
+                        .seqs[k as usize]
+                        .precedes(self.node[di], self.node[zi])
+                    {
+                        self.star_add(z, epoch, -1);
+                    } else {
+                        self.deg_plus[zi] -= 1;
+                    }
+                    if self.deg_plus[zi] + self.star(z, epoch) <= k
+                        && self.queue_mark[zi] != epoch
+                    {
+                        self.queue_mark[zi] = epoch;
+                        self.queue.push(z);
+                    }
+                }
+                // Everything else (processed stayers, earlier demotions,
+                // skipped vertices): d ends up after them either way —
+                // their deg⁺ already counts it correctly.
+            }
+        }
+    }
+}

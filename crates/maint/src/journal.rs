@@ -1,0 +1,235 @@
+//! Core-change journaling: a thin recorder around any [`CoreMaintainer`]
+//! that captures, per update, exactly which vertices changed core number
+//! and in which direction — the event stream a downstream consumer
+//! (community tracker, alerting pipeline, materialised view) needs.
+//!
+//! The wrapper diffs against a shadow copy of the core numbers, bounded
+//! by the engine-reported `|V*|`: updates with `V* = ∅` (the vast
+//! majority, see Fig 10b) cost nothing, and changing updates stop
+//! scanning after the `|V*|`-th transition is found.
+
+use crate::maintainer::CoreMaintainer;
+use kcore_graph::{EdgeListError, VertexId};
+use kcore_traversal::UpdateStats;
+
+/// What happened to the graph in one journaled step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphEvent {
+    /// An edge was inserted.
+    EdgeInserted(VertexId, VertexId),
+    /// An edge was removed.
+    EdgeRemoved(VertexId, VertexId),
+}
+
+/// One journal entry: the triggering event plus every core transition it
+/// caused (empty when `V* = ∅`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// Monotone sequence number (0-based).
+    pub seq: u64,
+    /// The graph mutation.
+    pub event: GraphEvent,
+    /// `(vertex, old_core, new_core)` for every vertex in `V*`.
+    pub transitions: Vec<(VertexId, u32, u32)>,
+}
+
+/// A maintenance engine wrapper that records a [`JournalEntry`] per
+/// update.
+///
+/// ```
+/// use kcore_graph::fixtures;
+/// use kcore_maint::journal::{GraphEvent, Journaled};
+/// use kcore_maint::TreapOrderCore;
+///
+/// let engine = TreapOrderCore::new(fixtures::path(3), 1);
+/// let mut j = Journaled::new(engine);
+/// j.insert_edge(2, 0).unwrap();
+/// let entry = j.entries().last().unwrap();
+/// assert_eq!(entry.event, GraphEvent::EdgeInserted(2, 0));
+/// assert_eq!(entry.transitions.len(), 3); // the whole cycle rose to 2
+/// ```
+pub struct Journaled<M: CoreMaintainer> {
+    engine: M,
+    shadow: Vec<u32>,
+    entries: Vec<JournalEntry>,
+    next_seq: u64,
+}
+
+impl<M: CoreMaintainer> Journaled<M> {
+    /// Wraps an engine (snapshots its current core numbers).
+    pub fn new(engine: M) -> Self {
+        let shadow = engine.core_slice().to_vec();
+        Journaled {
+            engine,
+            shadow,
+            entries: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// The wrapped engine (read access).
+    pub fn engine(&self) -> &M {
+        &self.engine
+    }
+
+    /// Recorded entries, oldest first.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Drops recorded entries (e.g. after a consumer flush), keeping the
+    /// sequence counter monotone.
+    pub fn drain(&mut self) -> Vec<JournalEntry> {
+        std::mem::take(&mut self.entries)
+    }
+
+    fn record(&mut self, event: GraphEvent, stats: &UpdateStats) {
+        // The engine reports how many vertices changed; only diff against
+        // the shadow when something did, and only around the touched
+        // region — we walk the engine's core slice lazily: since
+        // |V*| = stats.changed, scan until that many diffs are found.
+        let mut transitions = Vec::with_capacity(stats.changed);
+        if stats.changed > 0 {
+            let cores = self.engine.core_slice();
+            // grow shadow for vertices added since the last snapshot
+            if self.shadow.len() < cores.len() {
+                self.shadow.resize(cores.len(), 0);
+            }
+            for (v, &c) in cores.iter().enumerate() {
+                if c != self.shadow[v] {
+                    transitions.push((v as VertexId, self.shadow[v], c));
+                    self.shadow[v] = c;
+                    if transitions.len() == stats.changed {
+                        break;
+                    }
+                }
+            }
+        }
+        self.entries.push(JournalEntry {
+            seq: self.next_seq,
+            event,
+            transitions,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Inserts an edge, recording the resulting transitions.
+    pub fn insert_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+    ) -> Result<UpdateStats, EdgeListError> {
+        let stats = self.engine.insert(u, v)?;
+        self.record(GraphEvent::EdgeInserted(u, v), &stats);
+        Ok(stats)
+    }
+
+    /// Removes an edge, recording the resulting transitions.
+    pub fn remove_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+    ) -> Result<UpdateStats, EdgeListError> {
+        let stats = self.engine.remove(u, v)?;
+        self.record(GraphEvent::EdgeRemoved(u, v), &stats);
+        Ok(stats)
+    }
+
+    /// Vertices currently at or above core `k` that crossed the threshold
+    /// within the journaled window — e.g. "who joined the 10-core today".
+    pub fn threshold_crossings(&self, k: u32) -> Vec<(u64, VertexId, bool)> {
+        let mut out = Vec::new();
+        for e in &self.entries {
+            for &(v, old, new) in &e.transitions {
+                if old < k && new >= k {
+                    out.push((e.seq, v, true));
+                } else if old >= k && new < k {
+                    out.push((e.seq, v, false));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreapOrderCore;
+    use kcore_graph::fixtures;
+
+    #[test]
+    fn records_promotions_and_demotions() {
+        let engine = TreapOrderCore::new(fixtures::path(4), 1);
+        let mut j = Journaled::new(engine);
+        j.insert_edge(3, 0).unwrap();
+        j.remove_edge(1, 2).unwrap();
+        let es = j.entries();
+        assert_eq!(es.len(), 2);
+        assert_eq!(es[0].event, GraphEvent::EdgeInserted(3, 0));
+        assert_eq!(es[0].transitions.len(), 4);
+        assert!(es[0].transitions.iter().all(|&(_, o, n)| o == 1 && n == 2));
+        assert_eq!(es[1].event, GraphEvent::EdgeRemoved(1, 2));
+        assert_eq!(es[1].transitions.len(), 4);
+        assert!(es[1].transitions.iter().all(|&(_, o, n)| o == 2 && n == 1));
+    }
+
+    #[test]
+    fn empty_vstar_yields_empty_transitions() {
+        let pg = fixtures::PaperGraph::small();
+        let engine = TreapOrderCore::new(pg.graph.clone(), 1);
+        let mut j = Journaled::new(engine);
+        // joining the two 4-cliques changes no core number
+        j.insert_edge(pg.v(6), pg.v(10)).unwrap();
+        assert_eq!(j.entries()[0].transitions, Vec::new());
+    }
+
+    #[test]
+    fn threshold_crossings_detect_joins_and_leaves() {
+        let engine = TreapOrderCore::new(fixtures::path(4), 1);
+        let mut j = Journaled::new(engine);
+        j.insert_edge(3, 0).unwrap(); // everyone joins the 2-core
+        j.remove_edge(0, 1).unwrap(); // everyone leaves it
+        let crossings = j.threshold_crossings(2);
+        let joins = crossings.iter().filter(|&&(_, _, up)| up).count();
+        let leaves = crossings.iter().filter(|&&(_, _, up)| !up).count();
+        assert_eq!(joins, 4);
+        assert_eq!(leaves, 4);
+    }
+
+    #[test]
+    fn drain_preserves_sequence_numbers() {
+        let engine = TreapOrderCore::new(fixtures::path(5), 1);
+        let mut j = Journaled::new(engine);
+        j.insert_edge(0, 2).unwrap();
+        let first = j.drain();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].seq, 0);
+        j.insert_edge(0, 3).unwrap();
+        assert_eq!(j.entries()[0].seq, 1);
+    }
+
+    #[test]
+    fn shadow_tracks_engine_exactly_under_churn() {
+        let engine = TreapOrderCore::new(fixtures::clique(6), 1);
+        let mut j = Journaled::new(engine);
+        let edges: Vec<(u32, u32)> = (0..6u32)
+            .flat_map(|a| ((a + 1)..6).map(move |b| (a, b)))
+            .collect();
+        for &(a, b) in &edges {
+            j.remove_edge(a, b).unwrap();
+        }
+        for &(a, b) in edges.iter().rev() {
+            j.insert_edge(a, b).unwrap();
+        }
+        // net effect zero: transitions must cancel per vertex
+        let mut net = vec![0i64; 6];
+        for e in j.entries() {
+            for &(v, old, new) in &e.transitions {
+                net[v as usize] += new as i64 - old as i64;
+            }
+        }
+        assert_eq!(net, vec![0; 6]);
+        assert_eq!(j.engine().core_slice(), &[5, 5, 5, 5, 5, 5]);
+    }
+}

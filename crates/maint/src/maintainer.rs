@@ -1,0 +1,168 @@
+//! [`CoreMaintainer`]: one interface over the three maintenance engines —
+//! order-based ([`OrderCore`]), traversal ([`TraversalCore`]) and the
+//! naive full-recompute baseline ([`RecomputeCore`]) — so the experiment
+//! harness and the integration tests can drive them uniformly.
+
+use crate::order_core::OrderCore;
+use kcore_decomp::core_decomposition;
+use kcore_graph::{DynamicGraph, EdgeListError, VertexId};
+use kcore_order::OrderSeq;
+use kcore_traversal::{SubCoreAlgo, TraversalCore, UpdateStats};
+
+/// A dynamic-graph engine that maintains core numbers under edge updates.
+pub trait CoreMaintainer {
+    /// Inserts an edge; errors leave the state unchanged.
+    fn insert(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError>;
+
+    /// Removes an edge; errors leave the state unchanged.
+    fn remove(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError>;
+
+    /// Core number of one vertex.
+    fn core_of(&self, v: VertexId) -> u32;
+
+    /// All core numbers.
+    fn core_slice(&self) -> &[u32];
+
+    /// The underlying graph.
+    fn graph_ref(&self) -> &DynamicGraph;
+
+    /// Short display name for reports.
+    fn name(&self) -> String;
+}
+
+impl<S: OrderSeq> CoreMaintainer for OrderCore<S> {
+    fn insert(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
+        self.insert_edge(u, v)
+    }
+
+    fn remove(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
+        self.remove_edge(u, v)
+    }
+
+    fn core_of(&self, v: VertexId) -> u32 {
+        self.core(v)
+    }
+
+    fn core_slice(&self) -> &[u32] {
+        self.cores()
+    }
+
+    fn graph_ref(&self) -> &DynamicGraph {
+        self.graph()
+    }
+
+    fn name(&self) -> String {
+        "Order".to_string()
+    }
+}
+
+impl CoreMaintainer for TraversalCore {
+    fn insert(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
+        self.insert_edge(u, v)
+    }
+
+    fn remove(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
+        self.remove_edge(u, v)
+    }
+
+    fn core_of(&self, v: VertexId) -> u32 {
+        self.core(v)
+    }
+
+    fn core_slice(&self) -> &[u32] {
+        self.cores()
+    }
+
+    fn graph_ref(&self) -> &DynamicGraph {
+        self.graph()
+    }
+
+    fn name(&self) -> String {
+        format!("Trav-{}", self.hops())
+    }
+}
+
+impl CoreMaintainer for SubCoreAlgo {
+    fn insert(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
+        self.insert_edge(u, v)
+    }
+
+    fn remove(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
+        self.remove_edge(u, v)
+    }
+
+    fn core_of(&self, v: VertexId) -> u32 {
+        self.core(v)
+    }
+
+    fn core_slice(&self) -> &[u32] {
+        self.cores()
+    }
+
+    fn graph_ref(&self) -> &DynamicGraph {
+        self.graph()
+    }
+
+    fn name(&self) -> String {
+        "SubCore".to_string()
+    }
+}
+
+/// The naive baseline: rerun the `O(m + n)` decomposition after every
+/// update. Correct by construction; used as the ground-truth oracle and as
+/// the "no index" row in benchmarks.
+pub struct RecomputeCore {
+    graph: DynamicGraph,
+    core: Vec<u32>,
+}
+
+impl RecomputeCore {
+    /// Builds the baseline (one decomposition).
+    pub fn new(graph: DynamicGraph) -> Self {
+        let core = core_decomposition(&graph);
+        RecomputeCore { graph, core }
+    }
+
+    fn recompute(&mut self) -> UpdateStats {
+        let new = core_decomposition(&self.graph);
+        let changed = new
+            .iter()
+            .zip(self.core.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        self.core = new;
+        UpdateStats {
+            visited: self.graph.num_vertices(),
+            changed,
+            refreshed: 0,
+        }
+    }
+}
+
+impl CoreMaintainer for RecomputeCore {
+    fn insert(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
+        self.graph.insert_edge(u, v)?;
+        Ok(self.recompute())
+    }
+
+    fn remove(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
+        self.graph.remove_edge(u, v)?;
+        Ok(self.recompute())
+    }
+
+    fn core_of(&self, v: VertexId) -> u32 {
+        self.core[v as usize]
+    }
+
+    fn core_slice(&self) -> &[u32] {
+        &self.core
+    }
+
+    fn graph_ref(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    fn name(&self) -> String {
+        "Recompute".to_string()
+    }
+}

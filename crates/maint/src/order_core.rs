@@ -1,0 +1,293 @@
+//! The [`OrderCore`] structure: graph + k-order index + per-vertex degrees.
+
+use kcore_decomp::validate::compute_mcd;
+use kcore_decomp::{korder_decomposition, Heuristic};
+use kcore_graph::{DynamicGraph, VertexId};
+use kcore_order::{MinRankHeap, OrderSeq, OrderTreap, VertexLists, NONE};
+
+/// A dynamic graph whose core numbers are maintained by the order-based
+/// algorithms of the paper. `S` is the `A_k` order structure (treap by
+/// default; see [`crate::TagOrderCore`] for the ablation variant).
+pub struct OrderCore<S: OrderSeq = OrderTreap> {
+    pub(crate) graph: DynamicGraph,
+    pub(crate) core: Vec<u32>,
+    /// `deg⁺` — neighbours after the vertex in the global k-order.
+    pub(crate) deg_plus: Vec<u32>,
+    /// `mcd` — neighbours with `core >= own core` (removals need it).
+    pub(crate) mcd: Vec<u32>,
+    /// `O_k` doubly-linked lists.
+    pub(crate) lists: VertexLists,
+    /// `A_k` order structures, one per core value.
+    pub(crate) seqs: Vec<S>,
+    /// Handle of each vertex's node inside `seqs[core[v]]`.
+    pub(crate) node: Vec<u32>,
+    pub(crate) seed: u64,
+
+    // ---- per-operation scratch, epoch-stamped ----
+    pub(crate) epoch: u32,
+    pub(crate) deg_star: Vec<u32>,
+    pub(crate) star_mark: Vec<u32>,
+    pub(crate) vc_mark: Vec<u32>,
+    pub(crate) queue_mark: Vec<u32>,
+    pub(crate) heap: MinRankHeap,
+    pub(crate) vc: Vec<VertexId>,
+    pub(crate) vc_pos: Vec<u32>,
+    pub(crate) demotions: Vec<(VertexId, VertexId)>,
+    pub(crate) queue: Vec<VertexId>,
+    pub(crate) cd_work: Vec<u32>,
+    pub(crate) touch_mark: Vec<u32>,
+    pub(crate) vstar: Vec<VertexId>,
+}
+
+impl<S: OrderSeq> std::fmt::Debug for OrderCore<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "OrderCore {{ n: {}, m: {}, levels: {} }}",
+            self.graph.num_vertices(),
+            self.graph.num_edges(),
+            self.seqs.len()
+        )
+    }
+}
+
+impl<S: OrderSeq> OrderCore<S> {
+    /// Builds the index: a k-order via [`korder_decomposition`] (the
+    /// paper's "small deg⁺ first" heuristic by default — pass another for
+    /// the Fig 9 study), then `O_k` lists, `A_k` structures, and `mcd`.
+    pub fn with_heuristic(graph: DynamicGraph, heuristic: Heuristic, seed: u64) -> Self {
+        let ko = korder_decomposition(&graph, heuristic, seed);
+        let n = graph.num_vertices();
+        let max_k = ko.core.iter().copied().max().unwrap_or(0) as usize;
+        let mut lists = VertexLists::new(n, max_k + 1);
+        let mut seqs: Vec<S> = (0..=max_k as u64)
+            .map(|k| S::with_seed(seed ^ (k.wrapping_mul(0x9E37_79B9_7F4A_7C15))))
+            .collect();
+        let mut node = vec![NONE; n];
+        for &v in &ko.order {
+            let k = ko.core[v as usize];
+            lists.push_back(k, v);
+            node[v as usize] = seqs[k as usize].insert_last(v);
+        }
+        let mcd = compute_mcd(&graph, &ko.core);
+        OrderCore {
+            graph,
+            core: ko.core,
+            deg_plus: ko.deg_plus,
+            mcd,
+            lists,
+            seqs,
+            node,
+            seed,
+            epoch: 0,
+            deg_star: vec![0; n],
+            star_mark: vec![0; n],
+            vc_mark: vec![0; n],
+            queue_mark: vec![0; n],
+            heap: MinRankHeap::new(),
+            vc: Vec::new(),
+            vc_pos: vec![0; n],
+            demotions: Vec::new(),
+            queue: Vec::new(),
+            cd_work: vec![0; n],
+            touch_mark: vec![0; n],
+            vstar: Vec::new(),
+        }
+    }
+
+    /// Builds the index with the default (paper) heuristic.
+    pub fn new(graph: DynamicGraph, seed: u64) -> Self {
+        Self::with_heuristic(graph, Heuristic::SmallDegFirst, seed)
+    }
+
+    /// Current core number of `v`.
+    #[inline]
+    pub fn core(&self, v: VertexId) -> u32 {
+        self.core[v as usize]
+    }
+
+    /// All core numbers.
+    #[inline]
+    pub fn cores(&self) -> &[u32] {
+        &self.core
+    }
+
+    /// The maintained graph.
+    #[inline]
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// `deg⁺` of `v`.
+    #[inline]
+    pub fn deg_plus(&self, v: VertexId) -> u32 {
+        self.deg_plus[v as usize]
+    }
+
+    /// `mcd` of `v`.
+    #[inline]
+    pub fn mcd(&self, v: VertexId) -> u32 {
+        self.mcd[v as usize]
+    }
+
+    /// Number of Observation 6.1 demotions (candidates retracted out of
+    /// `VC` and re-inserted into `O_K`) during the most recent
+    /// `insert_edge` (diagnostics).
+    pub fn last_demotions(&self) -> usize {
+        self.demotions.len()
+    }
+
+    /// The `O_k` sequence as a `Vec` (diagnostics / tests).
+    pub fn level_order(&self, k: u32) -> Vec<VertexId> {
+        if (k as usize) < self.lists.num_lists() {
+            self.lists.to_vec(k)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// `true` iff `u ⪯ v` in the global k-order.
+    pub fn precedes(&self, u: VertexId, v: VertexId) -> bool {
+        let (cu, cv) = (self.core[u as usize], self.core[v as usize]);
+        if cu != cv {
+            return cu < cv;
+        }
+        self.seqs[cu as usize].precedes(self.node[u as usize], self.node[v as usize])
+    }
+
+    /// Adds an isolated vertex (core 0, appended to `O_0`).
+    pub fn add_vertex(&mut self) -> VertexId {
+        let v = self.graph.add_vertex();
+        self.core.push(0);
+        self.deg_plus.push(0);
+        self.mcd.push(0);
+        self.lists.ensure_vertex(v);
+        self.lists.ensure_list(0);
+        self.ensure_level(0);
+        self.lists.push_back(0, v);
+        let h = self.seqs[0].insert_last(v);
+        self.node.push(h);
+        self.deg_star.push(0);
+        self.star_mark.push(0);
+        self.vc_mark.push(0);
+        self.queue_mark.push(0);
+        self.vc_pos.push(0);
+        self.cd_work.push(0);
+        self.touch_mark.push(0);
+        v
+    }
+
+    /// Removes an **isolated** vertex from the index. The id remains
+    /// allocated in the graph (ids are dense); attempting to remove a
+    /// vertex with incident edges returns `false`.
+    pub fn detach_isolated(&mut self, v: VertexId) -> bool {
+        if self.graph.degree(v) != 0 || self.lists.list_of(v) == NONE {
+            return false;
+        }
+        debug_assert_eq!(self.core[v as usize], 0);
+        self.lists.remove(v);
+        self.seqs[0].remove(self.node[v as usize]);
+        self.node[v as usize] = NONE;
+        true
+    }
+
+    /// Makes sure `seqs[k]` and list `k` exist.
+    pub(crate) fn ensure_level(&mut self, k: u32) {
+        self.lists.ensure_list(k);
+        while self.seqs.len() <= k as usize {
+            let idx = self.seqs.len() as u64;
+            self.seqs
+                .push(S::with_seed(self.seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bump_epoch(&mut self) -> u32 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// `deg*` read through the epoch stamp (0 when stale).
+    #[inline]
+    pub(crate) fn star(&self, v: VertexId, epoch: u32) -> u32 {
+        if self.star_mark[v as usize] == epoch {
+            self.deg_star[v as usize]
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    pub(crate) fn star_add(&mut self, v: VertexId, epoch: u32, delta: i64) -> u32 {
+        let vi = v as usize;
+        let cur = if self.star_mark[vi] == epoch {
+            self.deg_star[vi] as i64
+        } else {
+            self.star_mark[vi] = epoch;
+            0
+        };
+        let new = (cur + delta).max(0) as u32;
+        self.deg_star[vi] = new;
+        new
+    }
+
+    /// Cross-checks the entire index against from-scratch recomputations:
+    /// core numbers, the Lemma 5.1 k-order invariant, `deg⁺` against the
+    /// list order, `mcd`, list/sequence agreement, and the node mapping.
+    /// Panics with a description on the first divergence (tests only).
+    pub fn validate(&self) {
+        use kcore_decomp::core_decomposition;
+        let reference = core_decomposition(&self.graph);
+        assert_eq!(self.core, reference, "core numbers diverged");
+
+        // Rebuild the global order from the per-level lists.
+        let n = self.graph.num_vertices();
+        let mut pos = vec![u32::MAX; n];
+        let mut counter = 0u32;
+        let max_level = self.lists.num_lists() as u32;
+        for k in 0..max_level {
+            let seq_vec = if (k as usize) < self.seqs.len() {
+                self.seqs[k as usize].to_vec()
+            } else {
+                Vec::new()
+            };
+            let list_vec = self.lists.to_vec(k);
+            assert_eq!(seq_vec, list_vec, "A_{k} and O_{k} diverged");
+            for &v in &list_vec {
+                assert_eq!(self.core[v as usize], k, "vertex {v} on wrong level");
+                assert_eq!(
+                    self.seqs[k as usize].payload(self.node[v as usize]),
+                    v,
+                    "node handle of {v} is stale"
+                );
+                pos[v as usize] = counter;
+                counter += 1;
+            }
+        }
+        assert_eq!(counter as usize, n, "some vertex is on no list");
+
+        // deg+ definition + Lemma 5.1.
+        for v in 0..n as VertexId {
+            let later = self
+                .graph
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| pos[w as usize] > pos[v as usize])
+                .count() as u32;
+            assert_eq!(
+                self.deg_plus[v as usize], later,
+                "deg+ of {v} diverged (stored {}, actual {later})",
+                self.deg_plus[v as usize]
+            );
+            assert!(
+                later <= self.core[v as usize],
+                "Lemma 5.1 violated at {v}: deg+ {later} > core {}",
+                self.core[v as usize]
+            );
+        }
+
+        // mcd definition.
+        let mcd_ref = compute_mcd(&self.graph, &self.core);
+        assert_eq!(self.mcd, mcd_ref, "mcd diverged");
+    }
+}

@@ -1,0 +1,164 @@
+//! `OrderRemoval` — Algorithm 4 of the paper.
+//!
+//! `V*` is found exactly as in the traversal removal algorithm (a
+//! `CoreDecomp`-style peeling of the `K` level seeded from `mcd`); the
+//! k-order is then maintained by moving the dismissed vertices, in
+//! dismissal order, to the **end** of `O_{K−1}` while recomputing their
+//! `deg⁺` and decrementing the `deg⁺` of the level-K vertices that
+//! preceded them. No `pcd` is maintained — that is the whole point.
+
+use crate::order_core::OrderCore;
+use kcore_graph::{EdgeListError, VertexId};
+use kcore_order::OrderSeq;
+use kcore_traversal::UpdateStats;
+
+impl<S: OrderSeq> OrderCore<S> {
+    /// Removes the edge `(u, v)`, updating core numbers and the k-order.
+    /// Errors (with no state change) when the edge is absent.
+    #[allow(clippy::needless_range_loop)]
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
+        if !self.graph.has_edge(u, v) {
+            return Err(EdgeListError::Missing(u, v));
+        }
+        self.graph.remove_edge(u, v).expect("edge present");
+        let mut stats = UpdateStats::default();
+
+        let (cu, cv) = (self.core[u as usize], self.core[v as usize]);
+        debug_assert!(cu >= 1 && cv >= 1, "an incident edge implies core >= 1");
+        // mcd loses the removed edge (Algorithm 4 lines 3–4).
+        if cu <= cv {
+            self.mcd[u as usize] -= 1;
+        }
+        if cv <= cu {
+            self.mcd[v as usize] -= 1;
+        }
+        // The earlier endpoint counted the later one in deg⁺.
+        let earlier = if cu < cv {
+            u
+        } else if cv < cu {
+            v
+        } else if self.seqs[cu as usize].precedes(self.node[u as usize], self.node[v as usize]) {
+            u
+        } else {
+            v
+        };
+        self.deg_plus[earlier as usize] -= 1;
+
+        let k = cu.min(cv);
+
+        // ---- find V* (traversal-removal routine, mcd-seeded) ----
+        let epoch = self.bump_epoch();
+        let mut vstar = std::mem::take(&mut self.vstar);
+        vstar.clear();
+        self.queue.clear();
+        let mut touched = 0usize;
+        for root in [u, v] {
+            let ri = root as usize;
+            if self.core[ri] != k {
+                continue;
+            }
+            if self.touch_mark[ri] != epoch {
+                self.touch_mark[ri] = epoch;
+                self.cd_work[ri] = self.mcd[ri];
+                touched += 1;
+            }
+            if self.core[ri] == k && self.cd_work[ri] < k {
+                self.core[ri] = k - 1; // dismiss
+                self.queue_mark[ri] = epoch; // marks membership of V*
+                vstar.push(root);
+                self.queue.push(root);
+            }
+        }
+        let mut qi = 0;
+        while qi < self.queue.len() {
+            let w = self.queue[qi];
+            qi += 1;
+            for i in 0..self.graph.degree(w) {
+                let z = self.graph.neighbors(w)[i];
+                let zi = z as usize;
+                if self.core[zi] != k {
+                    continue;
+                }
+                if self.touch_mark[zi] != epoch {
+                    self.touch_mark[zi] = epoch;
+                    self.cd_work[zi] = self.mcd[zi];
+                    touched += 1;
+                }
+                self.cd_work[zi] -= 1;
+                if self.cd_work[zi] < k {
+                    self.core[zi] = k - 1; // dismiss
+                    self.queue_mark[zi] = epoch;
+                    vstar.push(z);
+                    self.queue.push(z);
+                }
+            }
+        }
+        stats.visited = touched;
+        stats.changed = vstar.len();
+        if vstar.is_empty() {
+            self.vstar = vstar;
+            return Ok(stats);
+        }
+
+        // ---- maintain the k-order (Algorithm 4 lines 6–14) ----
+        // Process in dismissal order; vc_pos[w] = index lets the deg⁺
+        // recomputation see which V* members are still "remaining".
+        for (i, &w) in vstar.iter().enumerate() {
+            self.vc_pos[w as usize] = i as u32;
+        }
+        for idx in 0..vstar.len() {
+            let w = vstar[idx];
+            let wi = w as usize;
+            let mut dp = 0u32;
+            for i in 0..self.graph.degree(w) {
+                let z = self.graph.neighbors(w)[i];
+                let zi = z as usize;
+                let cz = self.core[zi];
+                // Level-K stayers that preceded w lose w from their deg⁺
+                // (w moves to O_{K−1}, i.e. in front of them).
+                if cz == k
+                    && self
+                        .seqs[k as usize]
+                        .precedes(self.node[zi], self.node[wi])
+                {
+                    self.deg_plus[zi] -= 1;
+                    stats.refreshed += 1;
+                }
+                // w's own deg⁺: stayers at level >= K are all after the
+                // end of O_{K−1}; so are the V* members not yet moved
+                // (they will be appended after w).
+                if cz >= k || (self.queue_mark[zi] == epoch && self.vc_pos[zi] as usize > idx) {
+                    dp += 1;
+                }
+            }
+            self.deg_plus[wi] = dp;
+            // Move w: out of O_K, to the end of O_{K−1}.
+            self.lists.remove(w);
+            self.lists.push_back(k - 1, w);
+            self.seqs[k as usize].remove(self.node[wi]);
+            self.node[wi] = self.seqs[k as usize - 1].insert_last(w);
+        }
+
+        // ---- mcd repair ----
+        for idx in 0..vstar.len() {
+            let w = vstar[idx];
+            let mut m = 0u32;
+            for i in 0..self.graph.degree(w) {
+                let z = self.graph.neighbors(w)[i];
+                let zi = z as usize;
+                if self.core[zi] >= k - 1 {
+                    m += 1;
+                }
+                // Level-K stayers lose w (it dropped below them).
+                if self.core[zi] == k && self.queue_mark[zi] != epoch {
+                    self.mcd[zi] -= 1;
+                    stats.refreshed += 1;
+                }
+            }
+            self.mcd[w as usize] = m;
+        }
+
+        self.vstar = vstar;
+        Ok(stats)
+    }
+}

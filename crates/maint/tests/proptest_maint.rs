@@ -1,0 +1,127 @@
+//! Property-based tests local to the maintenance crate: persistence
+//! robustness (roundtrip + corruption), heuristic-built indices under
+//! churn, and batch-vs-incremental equivalence.
+
+use kcore_decomp::Heuristic;
+use kcore_graph::DynamicGraph;
+use kcore_maint::{BatchOp, OrderCore, TreapOrderCore};
+use proptest::prelude::*;
+
+fn arb_graph(n: u32, max_edges: usize) -> impl Strategy<Value = DynamicGraph> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges).prop_map(move |pairs| {
+        let mut g = DynamicGraph::with_vertices(n as usize);
+        for (a, b) in pairs {
+            if a != b && !g.has_edge(a, b) {
+                g.insert_edge_unchecked(a, b);
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// save → load is the identity on every observable of the index.
+    #[test]
+    fn persist_roundtrip_identity(g in arb_graph(30, 120), seed in any::<u64>()) {
+        let oc = TreapOrderCore::new(g, seed);
+        let mut buf = Vec::new();
+        oc.save(&mut buf).unwrap();
+        let loaded = TreapOrderCore::load(&buf[..], seed ^ 1).unwrap();
+        prop_assert_eq!(loaded.cores(), oc.cores());
+        prop_assert_eq!(loaded.global_order(), oc.global_order());
+        loaded.validate();
+    }
+
+    /// Arbitrary single-byte corruption never yields a silently-wrong
+    /// index: load either errors or (if the flip cancels out, which it
+    /// cannot for a checksum-covered byte) returns a valid one.
+    #[test]
+    fn persist_corruption_is_detected(
+        g in arb_graph(16, 40),
+        byte in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let oc = TreapOrderCore::new(g, 7);
+        let mut buf = Vec::new();
+        oc.save(&mut buf).unwrap();
+        let pos = byte.index(buf.len());
+        buf[pos] ^= flip;
+        match TreapOrderCore::load(&buf[..], 7) {
+            Err(_) => {} // detected — the expected outcome
+            Ok(loaded) => {
+                // Only possible if the flip hit redundant state that the
+                // validators and checksum both tolerate — which would mean
+                // the index is still fully valid:
+                loaded.validate();
+            }
+        }
+    }
+
+    /// Truncation at any point is detected.
+    #[test]
+    fn persist_truncation_is_detected(g in arb_graph(12, 30), cut in any::<prop::sample::Index>()) {
+        let oc = TreapOrderCore::new(g, 3);
+        let mut buf = Vec::new();
+        oc.save(&mut buf).unwrap();
+        let keep = cut.index(buf.len()); // strictly shorter than buf
+        prop_assert!(TreapOrderCore::load(&buf[..keep], 3).is_err());
+    }
+
+    /// Indices built with the large/random heuristics stay valid under
+    /// churn too (the heuristic only changes the starting order).
+    #[test]
+    fn heuristic_indices_survive_churn(
+        g in arb_graph(16, 50),
+        updates in prop::collection::vec((any::<bool>(), 0u32..16, 0u32..16), 0..40),
+        seed in any::<u64>(),
+    ) {
+        for h in [Heuristic::LargeDegFirst, Heuristic::RandomDegFirst] {
+            let mut oc: TreapOrderCore = OrderCore::with_heuristic(g.clone(), h, seed);
+            let mut present = oc.graph().edge_vec();
+            for &(ins, a, b) in &updates {
+                if ins {
+                    if a != b && !oc.graph().has_edge(a, b) {
+                        oc.insert_edge(a, b).unwrap();
+                        present.push((a.min(b), a.max(b)));
+                    }
+                } else if !present.is_empty() {
+                    let idx = (a as usize * 13 + b as usize) % present.len();
+                    let (x, y) = present.swap_remove(idx);
+                    oc.remove_edge(x, y).unwrap();
+                }
+                oc.validate();
+            }
+        }
+    }
+
+    /// Batch application (either path) equals sequential application.
+    #[test]
+    fn batch_equals_sequential(
+        g in arb_graph(14, 30),
+        extra in prop::collection::vec((0u32..14, 0u32..14), 1..20),
+        frac in 0.0f64..2.0,
+    ) {
+        let mut ops = Vec::new();
+        {
+            let mut probe = g.clone();
+            for &(a, b) in &extra {
+                if a != b && !probe.has_edge(a, b) {
+                    probe.insert_edge_unchecked(a, b);
+                    ops.push(BatchOp::Insert(a, b));
+                }
+            }
+        }
+        prop_assume!(!ops.is_empty());
+        let mut batched = TreapOrderCore::new(g.clone(), 5);
+        batched.apply_batch(&ops, frac).unwrap();
+        let mut seq = TreapOrderCore::new(g, 5);
+        for &op in &ops {
+            let BatchOp::Insert(a, b) = op else { unreachable!() };
+            seq.insert_edge(a, b).unwrap();
+        }
+        prop_assert_eq!(batched.cores(), seq.cores());
+        batched.validate();
+    }
+}

@@ -1,0 +1,203 @@
+//! The paper's `B` structure: a min-heap of `(rank, vertex)` pairs used by
+//! `OrderInsert` to jump, in `O(1)`, to the next vertex of `O_K` that still
+//! needs attention (`deg*(v) > 0 ∨ deg⁺(v) > K`).
+//!
+//! Entries are removed **lazily**: instead of an indexed heap with decrease
+//! key support, stale entries are filtered out at pop time by a caller
+//! supplied validity predicate. Each (re-)qualification of a vertex pushes
+//! a fresh entry, so the number of pushes is bounded by the number of
+//! `deg*` transitions — within the `O(Σ_{v∈V⁺} deg(v) · log)` budget of
+//! Theorem 5.2.
+
+/// Binary min-heap over `(key, vertex)` pairs with lazy invalidation.
+#[derive(Clone, Debug, Default)]
+pub struct MinRankHeap {
+    data: Vec<(u64, u32)>,
+}
+
+impl MinRankHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live + stale entries currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when no entries are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Removes all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Pushes an entry.
+    pub fn push(&mut self, key: u64, vertex: u32) {
+        self.data.push((key, vertex));
+        self.sift_up(self.data.len() - 1);
+    }
+
+    /// Pops entries until one satisfies `valid`; returns it, or `None` when
+    /// the heap is exhausted. Invalid entries are discarded permanently.
+    pub fn pop_valid<F: FnMut(u32) -> bool>(&mut self, mut valid: F) -> Option<(u64, u32)> {
+        while let Some(&(key, v)) = self.data.first() {
+            self.pop_root();
+            if valid(v) {
+                return Some((key, v));
+            }
+        }
+        None
+    }
+
+    /// Peeks the minimum entry satisfying `valid`, discarding invalid roots.
+    pub fn peek_valid<F: FnMut(u32) -> bool>(&mut self, mut valid: F) -> Option<(u64, u32)> {
+        while let Some(&(key, v)) = self.data.first() {
+            if valid(v) {
+                return Some((key, v));
+            }
+            self.pop_root();
+        }
+        None
+    }
+
+    fn pop_root(&mut self) {
+        let last = self.data.len() - 1;
+        self.data.swap(0, last);
+        self.data.pop();
+        if !self.data.is_empty() {
+            self.sift_down(0);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let p = (i - 1) / 2;
+            if self.data[p] <= self.data[i] {
+                break;
+            }
+            self.data.swap(p, i);
+            i = p;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.data.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < n && self.data[l] < self.data[smallest] {
+                smallest = l;
+            }
+            if r < n && self.data[r] < self.data[smallest] {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.data.swap(i, smallest);
+            i = smallest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut h = MinRankHeap::new();
+        for (k, v) in [(5u64, 50u32), (1, 10), (3, 30), (2, 20), (4, 40)] {
+            h.push(k, v);
+        }
+        let mut out = Vec::new();
+        while let Some((k, v)) = h.pop_valid(|_| true) {
+            out.push((k, v));
+        }
+        assert_eq!(out, vec![(1, 10), (2, 20), (3, 30), (4, 40), (5, 50)]);
+    }
+
+    #[test]
+    fn lazy_invalidation_skips_stale() {
+        let mut h = MinRankHeap::new();
+        h.push(1, 100);
+        h.push(2, 200);
+        h.push(3, 300);
+        // 100 is stale.
+        let got = h.pop_valid(|v| v != 100);
+        assert_eq!(got, Some((2, 200)));
+        // stale entry was dropped, not retained
+        let got = h.pop_valid(|_| true);
+        assert_eq!(got, Some((3, 300)));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn peek_discards_invalid_roots_only() {
+        let mut h = MinRankHeap::new();
+        h.push(1, 1);
+        h.push(2, 2);
+        assert_eq!(h.peek_valid(|v| v != 1), Some((2, 2)));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.peek_valid(|_| true), Some((2, 2)));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_vertices_allowed() {
+        let mut h = MinRankHeap::new();
+        h.push(5, 7);
+        h.push(2, 7);
+        assert_eq!(h.pop_valid(|_| true), Some((2, 7)));
+        assert_eq!(h.pop_valid(|_| true), Some((5, 7)));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut h = MinRankHeap::new();
+        h.push(1, 1);
+        assert_eq!(h.pop_valid(|_| false), None);
+        assert!(h.is_empty());
+        assert_eq!(h.pop_valid(|_| true), None);
+    }
+
+    #[test]
+    fn clear_retains_capacity_semantics() {
+        let mut h = MinRankHeap::new();
+        for i in 0..100 {
+            h.push(i, i as u32);
+        }
+        h.clear();
+        assert!(h.is_empty());
+        h.push(1, 1);
+        assert_eq!(h.pop_valid(|_| true), Some((1, 1)));
+    }
+
+    #[test]
+    fn heap_property_random() {
+        let mut h = MinRankHeap::new();
+        let mut state = 12345u64;
+        let mut keys = Vec::new();
+        for _ in 0..500 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let k = state % 1000;
+            keys.push(k);
+            h.push(k, k as u32);
+        }
+        keys.sort_unstable();
+        let mut out = Vec::new();
+        while let Some((k, _)) = h.pop_valid(|_| true) {
+            out.push(k);
+        }
+        assert_eq!(out, keys);
+    }
+}

@@ -1,0 +1,312 @@
+//! Intrusive doubly-linked lists over a dense vertex id space — the `O_k`
+//! sequences of the paper.
+//!
+//! Every vertex belongs to at most one list at a time (its current core
+//! value), so a single pair of `next`/`prev` arrays serves all lists; each
+//! list `k` keeps explicit head/tail ids. All operations are `O(1)`.
+
+use crate::NONE;
+
+/// A family of doubly-linked lists indexed by a small integer (core value).
+#[derive(Clone, Debug, Default)]
+pub struct VertexLists {
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    /// Which list each vertex is on (`NONE` if detached).
+    list_of: Vec<u32>,
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    lens: Vec<usize>,
+}
+
+impl VertexLists {
+    /// Creates a family with capacity for `n` vertices and `lists` lists.
+    pub fn new(n: usize, lists: usize) -> Self {
+        VertexLists {
+            next: vec![NONE; n],
+            prev: vec![NONE; n],
+            list_of: vec![NONE; n],
+            head: vec![NONE; lists],
+            tail: vec![NONE; lists],
+            lens: vec![0; lists],
+        }
+    }
+
+    /// Grows the vertex space so that `v` is addressable.
+    pub fn ensure_vertex(&mut self, v: u32) {
+        if v as usize >= self.next.len() {
+            let n = v as usize + 1;
+            self.next.resize(n, NONE);
+            self.prev.resize(n, NONE);
+            self.list_of.resize(n, NONE);
+        }
+    }
+
+    /// Grows the list space so that list `k` exists.
+    pub fn ensure_list(&mut self, k: u32) {
+        if k as usize >= self.head.len() {
+            let n = k as usize + 1;
+            self.head.resize(n, NONE);
+            self.tail.resize(n, NONE);
+            self.lens.resize(n, 0);
+        }
+    }
+
+    /// Number of vertices currently on list `k`.
+    #[inline]
+    pub fn len(&self, k: u32) -> usize {
+        self.lens.get(k as usize).copied().unwrap_or(0)
+    }
+
+    /// `true` if list `k` has no vertices.
+    #[inline]
+    pub fn is_empty(&self, k: u32) -> bool {
+        self.len(k) == 0
+    }
+
+    /// Number of addressable lists.
+    #[inline]
+    pub fn num_lists(&self) -> usize {
+        self.head.len()
+    }
+
+    /// The list vertex `v` currently belongs to, or `NONE`.
+    #[inline]
+    pub fn list_of(&self, v: u32) -> u32 {
+        self.list_of[v as usize]
+    }
+
+    /// First vertex of list `k`, or `NONE`.
+    #[inline]
+    pub fn head(&self, k: u32) -> u32 {
+        self.head.get(k as usize).copied().unwrap_or(NONE)
+    }
+
+    /// Last vertex of list `k`, or `NONE`.
+    #[inline]
+    pub fn tail(&self, k: u32) -> u32 {
+        self.tail.get(k as usize).copied().unwrap_or(NONE)
+    }
+
+    /// Successor of `v` on its list, or `NONE`.
+    #[inline]
+    pub fn next(&self, v: u32) -> u32 {
+        self.next[v as usize]
+    }
+
+    /// Predecessor of `v` on its list, or `NONE`.
+    #[inline]
+    pub fn prev(&self, v: u32) -> u32 {
+        self.prev[v as usize]
+    }
+
+    /// Appends detached vertex `v` to the back of list `k`.
+    pub fn push_back(&mut self, k: u32, v: u32) {
+        debug_assert_eq!(self.list_of[v as usize], NONE, "vertex already listed");
+        let t = self.tail[k as usize];
+        self.prev[v as usize] = t;
+        self.next[v as usize] = NONE;
+        if t == NONE {
+            self.head[k as usize] = v;
+        } else {
+            self.next[t as usize] = v;
+        }
+        self.tail[k as usize] = v;
+        self.list_of[v as usize] = k;
+        self.lens[k as usize] += 1;
+    }
+
+    /// Prepends detached vertex `v` to the front of list `k`.
+    pub fn push_front(&mut self, k: u32, v: u32) {
+        debug_assert_eq!(self.list_of[v as usize], NONE, "vertex already listed");
+        let h = self.head[k as usize];
+        self.next[v as usize] = h;
+        self.prev[v as usize] = NONE;
+        if h == NONE {
+            self.tail[k as usize] = v;
+        } else {
+            self.prev[h as usize] = v;
+        }
+        self.head[k as usize] = v;
+        self.list_of[v as usize] = k;
+        self.lens[k as usize] += 1;
+    }
+
+    /// Inserts detached vertex `v` immediately after `after` (which must be
+    /// on list `k`).
+    pub fn insert_after(&mut self, k: u32, after: u32, v: u32) {
+        debug_assert_eq!(self.list_of[after as usize], k, "anchor not on list");
+        debug_assert_eq!(self.list_of[v as usize], NONE, "vertex already listed");
+        let nxt = self.next[after as usize];
+        self.prev[v as usize] = after;
+        self.next[v as usize] = nxt;
+        self.next[after as usize] = v;
+        if nxt == NONE {
+            self.tail[k as usize] = v;
+        } else {
+            self.prev[nxt as usize] = v;
+        }
+        self.list_of[v as usize] = k;
+        self.lens[k as usize] += 1;
+    }
+
+    /// Inserts detached vertex `v` immediately before `before`.
+    pub fn insert_before(&mut self, k: u32, before: u32, v: u32) {
+        debug_assert_eq!(self.list_of[before as usize], k, "anchor not on list");
+        let prv = self.prev[before as usize];
+        if prv == NONE {
+            self.push_front(k, v);
+        } else {
+            self.insert_after(k, prv, v);
+        }
+    }
+
+    /// Detaches `v` from whatever list it is on.
+    pub fn remove(&mut self, v: u32) {
+        let k = self.list_of[v as usize];
+        debug_assert_ne!(k, NONE, "vertex not on a list");
+        let (p, n) = (self.prev[v as usize], self.next[v as usize]);
+        if p == NONE {
+            self.head[k as usize] = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NONE {
+            self.tail[k as usize] = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+        self.next[v as usize] = NONE;
+        self.prev[v as usize] = NONE;
+        self.list_of[v as usize] = NONE;
+        self.lens[k as usize] -= 1;
+    }
+
+    /// Iterates list `k` front-to-back.
+    pub fn iter(&self, k: u32) -> ListIter<'_> {
+        ListIter {
+            lists: self,
+            cur: self.head(k),
+        }
+    }
+
+    /// Collects list `k` into a `Vec` (tests/diagnostics).
+    pub fn to_vec(&self, k: u32) -> Vec<u32> {
+        self.iter(k).collect()
+    }
+
+    /// Verifies link symmetry and length bookkeeping of list `k`.
+    pub fn check_list(&self, k: u32) {
+        let mut count = 0usize;
+        let mut prev = NONE;
+        let mut cur = self.head(k);
+        while cur != NONE {
+            assert_eq!(self.prev[cur as usize], prev, "prev mismatch at {cur}");
+            assert_eq!(self.list_of[cur as usize], k, "list_of mismatch at {cur}");
+            count += 1;
+            assert!(count <= self.next.len(), "cycle detected in list {k}");
+            prev = cur;
+            cur = self.next[cur as usize];
+        }
+        assert_eq!(self.tail(k), prev, "tail mismatch for list {k}");
+        assert_eq!(self.lens[k as usize], count, "length mismatch for list {k}");
+    }
+}
+
+/// Front-to-back iterator over one list.
+pub struct ListIter<'a> {
+    lists: &'a VertexLists,
+    cur: u32,
+}
+
+impl<'a> Iterator for ListIter<'a> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.cur == NONE {
+            None
+        } else {
+            let v = self.cur;
+            self.cur = self.lists.next(v);
+            Some(v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iterate() {
+        let mut l = VertexLists::new(10, 3);
+        l.push_back(1, 4);
+        l.push_back(1, 5);
+        l.push_front(1, 3);
+        assert_eq!(l.to_vec(1), vec![3, 4, 5]);
+        assert_eq!(l.len(1), 3);
+        assert!(l.is_empty(0));
+        l.check_list(1);
+    }
+
+    #[test]
+    fn insert_after_before() {
+        let mut l = VertexLists::new(10, 1);
+        l.push_back(0, 1);
+        l.push_back(0, 5);
+        l.insert_after(0, 1, 2);
+        l.insert_before(0, 5, 4);
+        l.insert_before(0, 1, 0);
+        assert_eq!(l.to_vec(0), vec![0, 1, 2, 4, 5]);
+        l.check_list(0);
+    }
+
+    #[test]
+    fn remove_everywhere() {
+        let mut l = VertexLists::new(6, 1);
+        for v in 0..6 {
+            l.push_back(0, v);
+        }
+        l.remove(0); // head
+        l.remove(5); // tail
+        l.remove(3); // middle
+        assert_eq!(l.to_vec(0), vec![1, 2, 4]);
+        assert_eq!(l.list_of(3), NONE);
+        assert_eq!(l.head(0), 1);
+        assert_eq!(l.tail(0), 4);
+        l.check_list(0);
+    }
+
+    #[test]
+    fn move_between_lists() {
+        let mut l = VertexLists::new(4, 3);
+        l.push_back(0, 0);
+        l.push_back(0, 1);
+        l.remove(1);
+        l.push_front(2, 1);
+        assert_eq!(l.to_vec(0), vec![0]);
+        assert_eq!(l.to_vec(2), vec![1]);
+        assert_eq!(l.list_of(1), 2);
+        l.check_list(0);
+        l.check_list(2);
+    }
+
+    #[test]
+    fn grow_dynamically() {
+        let mut l = VertexLists::new(0, 0);
+        l.ensure_vertex(7);
+        l.ensure_list(4);
+        l.push_back(4, 7);
+        assert_eq!(l.to_vec(4), vec![7]);
+        assert_eq!(l.num_lists(), 5);
+    }
+
+    #[test]
+    fn empty_list_queries() {
+        let l = VertexLists::new(3, 2);
+        assert_eq!(l.head(1), NONE);
+        assert_eq!(l.tail(1), NONE);
+        assert_eq!(l.len(9), 0); // out-of-range list reads as empty
+        assert_eq!(l.to_vec(0), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,470 @@
+//! An **indexable skip list** — the third `A_k` candidate in the ablation
+//! study, between the treap (`O(log n)` rank from a handle via parent
+//! pointers) and the tag list (`O(1)` order queries, occasional global
+//! relabels).
+//!
+//! Towers live in an arena; every link at level `l` stores its *width*
+//! (number of level-0 hops it spans), which yields rank queries from a
+//! node handle by walking **up and left**: from the node's tallest level,
+//! repeatedly hop to the previous tower at that level accumulating
+//! widths. Heights are drawn from a seeded xorshift (p = 1/2), giving
+//! `O(log n)` expected insert/remove/rank.
+
+use crate::NONE;
+
+const MAX_LEVEL: usize = 32;
+
+#[derive(Clone, Debug)]
+struct Tower {
+    /// `next[l]` / `prev[l]` — neighbours at level `l` (NONE-terminated).
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    /// `width[l]` — level-0 hops spanned by the `next[l]` link (0 when
+    /// `next[l]` is NONE and the link runs to the tail sentinel).
+    width: Vec<u32>,
+    payload: u32,
+}
+
+/// Indexable skip list; handles are arena indices of towers.
+#[derive(Clone, Debug)]
+pub struct SkipList {
+    towers: Vec<Tower>,
+    /// Head sentinel tower (always index 0 in the arena).
+    head: u32,
+    free: Vec<u32>,
+    len: usize,
+    rng_state: u64,
+}
+
+impl SkipList {
+    /// Creates an empty list; `seed` drives tower heights.
+    pub fn new(seed: u64) -> Self {
+        let head = Tower {
+            next: vec![NONE; MAX_LEVEL],
+            prev: vec![NONE; MAX_LEVEL],
+            width: vec![0; MAX_LEVEL],
+            payload: u32::MAX,
+        };
+        SkipList {
+            towers: vec![head],
+            head: 0,
+            free: Vec::new(),
+            len: 0,
+            rng_state: seed | 1,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Payload stored at `handle`.
+    #[inline]
+    pub fn payload(&self, handle: u32) -> u32 {
+        self.towers[handle as usize].payload
+    }
+
+    fn random_height(&mut self) -> usize {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        ((bits.trailing_ones() as usize) + 1).min(MAX_LEVEL - 1)
+    }
+
+    fn alloc(&mut self, payload: u32, height: usize) -> u32 {
+        let tower = Tower {
+            next: vec![NONE; height],
+            prev: vec![NONE; height],
+            width: vec![0; height],
+            payload,
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.towers[i as usize] = tower;
+                i
+            }
+            None => {
+                self.towers.push(tower);
+                (self.towers.len() - 1) as u32
+            }
+        }
+    }
+
+    #[inline]
+    fn height(&self, t: u32) -> usize {
+        self.towers[t as usize].next.len()
+    }
+
+    /// 1-based rank of `handle`: climb the tower, then walk left at the
+    /// highest reachable levels accumulating widths.
+    pub fn rank(&self, handle: u32) -> usize {
+        let mut rank = 0usize;
+        let mut cur = handle;
+        let mut level = 0usize;
+        while cur != self.head {
+            let t = &self.towers[cur as usize];
+            // climb as high as this tower allows
+            let top = t.next.len() - 1;
+            while level < top {
+                level += 1;
+            }
+            // step left at the current level
+            let left = t.prev[level];
+            // width of the link (left -> cur) at this level
+            let lw = self.towers[left as usize].width[level];
+            rank += lw as usize;
+            cur = left;
+        }
+        rank
+    }
+
+    /// `true` iff `a` is strictly before `b`.
+    #[inline]
+    pub fn precedes(&self, a: u32, b: u32) -> bool {
+        if a == b {
+            return false;
+        }
+        self.rank(a) < self.rank(b)
+    }
+
+    /// Inserts `payload` right after `at` (use the head sentinel semantics
+    /// through [`SkipList::insert_first`]). Returns the new handle.
+    pub fn insert_after(&mut self, at: u32, payload: u32) -> u32 {
+        let rank_at = if at == self.head { 0 } else { self.rank(at) };
+        self.insert_at_rank(rank_at, payload)
+    }
+
+    /// Inserts `payload` right before `at`.
+    pub fn insert_before(&mut self, at: u32, payload: u32) -> u32 {
+        let rank_at = self.rank(at);
+        self.insert_at_rank(rank_at - 1, payload)
+    }
+
+    /// Inserts at the front.
+    pub fn insert_first(&mut self, payload: u32) -> u32 {
+        self.insert_at_rank(0, payload)
+    }
+
+    /// Inserts at the back.
+    pub fn insert_last(&mut self, payload: u32) -> u32 {
+        self.insert_at_rank(self.len, payload)
+    }
+
+    /// Core insertion: the new element will have 1-based rank
+    /// `after_rank + 1`.
+    fn insert_at_rank(&mut self, after_rank: usize, payload: u32) -> u32 {
+        let height = self.random_height();
+        let node = self.alloc(payload, height);
+        // Find predecessors at every level by a top-down descent tracking
+        // traversed width.
+        let mut preds = [0u32; MAX_LEVEL];
+        let mut pred_rank = [0usize; MAX_LEVEL];
+        let mut cur = self.head;
+        let mut cur_rank = 0usize;
+        for level in (0..MAX_LEVEL).rev() {
+            loop {
+                let nxt = self.towers[cur as usize].next[level];
+                if nxt == NONE {
+                    break;
+                }
+                let w = self.towers[cur as usize].width[level] as usize;
+                if cur_rank + w > after_rank {
+                    break;
+                }
+                cur_rank += w;
+                cur = nxt;
+            }
+            preds[level] = cur;
+            pred_rank[level] = cur_rank;
+        }
+        // Splice at levels < height; bump widths above.
+        for level in 0..MAX_LEVEL {
+            let p = preds[level];
+            if level < height {
+                let nxt = self.towers[p as usize].next[level];
+                // width(p -> node): (after_rank + 1) - pred_rank - ... new
+                // node's rank is after_rank + 1.
+                let w_p_new = (after_rank + 1 - pred_rank[level]) as u32;
+                let old_w = self.towers[p as usize].width[level];
+                let w_new_next = if nxt == NONE {
+                    0
+                } else {
+                    old_w + 1 - w_p_new
+                };
+                let t = &mut self.towers[node as usize];
+                t.next[level] = nxt;
+                t.prev[level] = p;
+                t.width[level] = w_new_next;
+                self.towers[p as usize].next[level] = node;
+                self.towers[p as usize].width[level] = w_p_new;
+                if nxt != NONE {
+                    self.towers[nxt as usize].prev[level] = node;
+                }
+            } else {
+                // link spans the new element: widen (if it doesn't run to
+                // the tail)
+                if self.towers[p as usize].next[level] != NONE {
+                    self.towers[p as usize].width[level] += 1;
+                }
+            }
+        }
+        self.len += 1;
+        node
+    }
+
+    /// Removes the element at `handle`, returning its payload.
+    pub fn remove(&mut self, handle: u32) -> u32 {
+        let height = self.height(handle);
+        // Unlink at its own levels.
+        for level in 0..height {
+            let p = self.towers[handle as usize].prev[level];
+            let n = self.towers[handle as usize].next[level];
+            let w_p = self.towers[p as usize].width[level];
+            let w_h = self.towers[handle as usize].width[level];
+            self.towers[p as usize].next[level] = n;
+            self.towers[p as usize].width[level] = if n == NONE { 0 } else { w_p + w_h - 1 };
+            if n != NONE {
+                self.towers[n as usize].prev[level] = p;
+            }
+        }
+        // Shrink spanning links above: walk up from the tallest
+        // predecessor chain.
+        let mut cur = self.towers[handle as usize].prev[height - 1];
+        let mut level = height;
+        while level < MAX_LEVEL {
+            // climb cur until it has a link at `level`
+            while self.height(cur) <= level {
+                let h = self.height(cur) - 1;
+                cur = self.towers[cur as usize].prev[h];
+            }
+            while level < self.height(cur).min(MAX_LEVEL) {
+                if self.towers[cur as usize].next[level] != NONE {
+                    self.towers[cur as usize].width[level] -= 1;
+                }
+                level += 1;
+            }
+        }
+        self.len -= 1;
+        let payload = self.towers[handle as usize].payload;
+        self.free.push(handle);
+        payload
+    }
+
+    /// Front-to-back payloads (diagnostics).
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut cur = self.towers[self.head as usize].next[0];
+        while cur != NONE {
+            out.push(self.towers[cur as usize].payload);
+            cur = self.towers[cur as usize].next[0];
+        }
+        out
+    }
+
+    /// Validates widths, links and length (tests).
+    pub fn check_invariants(&self) {
+        // level-0 walk establishes ranks
+        let mut rank_of = std::collections::HashMap::new();
+        let mut cur = self.head;
+        let mut r = 0usize;
+        rank_of.insert(self.head, 0usize);
+        loop {
+            let nxt = self.towers[cur as usize].next[0];
+            assert_eq!(
+                self.towers[cur as usize].width[0],
+                if nxt == NONE { 0 } else { 1 },
+                "level-0 width must be 1"
+            );
+            if nxt == NONE {
+                break;
+            }
+            r += 1;
+            rank_of.insert(nxt, r);
+            assert_eq!(self.towers[nxt as usize].prev[0], cur, "prev broken");
+            cur = nxt;
+        }
+        assert_eq!(r, self.len, "len mismatch");
+        // higher levels: widths consistent with rank gaps
+        for level in 1..MAX_LEVEL {
+            let mut cur = self.head;
+            loop {
+                let nxt = self.towers[cur as usize].next.get(level).copied().unwrap_or(NONE);
+                if nxt == NONE {
+                    break;
+                }
+                let w = self.towers[cur as usize].width[level] as usize;
+                assert_eq!(
+                    rank_of[&nxt] - rank_of[&cur],
+                    w,
+                    "width mismatch at level {level}"
+                );
+                assert_eq!(self.towers[nxt as usize].prev[level], cur);
+                cur = nxt;
+            }
+        }
+    }
+}
+
+impl crate::seq::OrderSeq for SkipList {
+    fn with_seed(seed: u64) -> Self {
+        SkipList::new(seed)
+    }
+
+    fn len(&self) -> usize {
+        SkipList::len(self)
+    }
+
+    fn insert_first(&mut self, payload: u32) -> u32 {
+        SkipList::insert_first(self, payload)
+    }
+
+    fn insert_last(&mut self, payload: u32) -> u32 {
+        SkipList::insert_last(self, payload)
+    }
+
+    fn insert_after(&mut self, at: u32, payload: u32) -> u32 {
+        SkipList::insert_after(self, at, payload)
+    }
+
+    fn insert_before(&mut self, at: u32, payload: u32) -> u32 {
+        SkipList::insert_before(self, at, payload)
+    }
+
+    fn remove(&mut self, at: u32) -> u32 {
+        SkipList::remove(self, at)
+    }
+
+    fn precedes(&self, a: u32, b: u32) -> bool {
+        SkipList::precedes(self, a, b)
+    }
+
+    fn order_key(&self, at: u32) -> u64 {
+        SkipList::rank(self, at) as u64
+    }
+
+    fn payload(&self, at: u32) -> u32 {
+        SkipList::payload(self, at)
+    }
+
+    fn to_vec(&self) -> Vec<u32> {
+        SkipList::to_vec(self)
+    }
+
+    fn validate(&self) {
+        self.check_invariants()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appends_and_ranks() {
+        let mut l = SkipList::new(5);
+        let hs: Vec<u32> = (0..200).map(|i| l.insert_last(i)).collect();
+        l.check_invariants();
+        assert_eq!(l.to_vec(), (0..200).collect::<Vec<_>>());
+        for (i, &h) in hs.iter().enumerate() {
+            assert_eq!(l.rank(h), i + 1, "rank of element {i}");
+        }
+    }
+
+    #[test]
+    fn front_inserts() {
+        let mut l = SkipList::new(9);
+        for i in 0..100 {
+            l.insert_first(i);
+        }
+        l.check_invariants();
+        assert_eq!(l.to_vec(), (0..100).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn insert_after_and_before() {
+        let mut l = SkipList::new(1);
+        let a = l.insert_last(10);
+        let c = l.insert_last(30);
+        let b = l.insert_after(a, 20);
+        let z = l.insert_before(a, 5);
+        l.check_invariants();
+        assert_eq!(l.to_vec(), vec![5, 10, 20, 30]);
+        assert!(l.precedes(z, a) && l.precedes(a, b) && l.precedes(b, c));
+    }
+
+    #[test]
+    fn removal_everywhere() {
+        let mut l = SkipList::new(3);
+        let hs: Vec<u32> = (0..50).map(|i| l.insert_last(i)).collect();
+        l.remove(hs[0]);
+        l.remove(hs[49]);
+        l.remove(hs[25]);
+        l.check_invariants();
+        assert_eq!(l.len(), 47);
+        let v = l.to_vec();
+        assert_eq!(v[0], 1);
+        assert_eq!(v[v.len() - 1], 48);
+        assert!(!v.contains(&25));
+    }
+
+    #[test]
+    fn interleaved_random_ops_match_vec_model() {
+        let mut l = SkipList::new(1234);
+        let mut model: Vec<(u32, u32)> = Vec::new();
+        let mut state = 0x13579BDFu64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..2500u32 {
+            let r = next();
+            if model.is_empty() || r % 3 != 0 {
+                if model.is_empty() {
+                    let h = l.insert_first(step);
+                    model.insert(0, (h, step));
+                } else {
+                    let pos = (r / 3) as usize % model.len();
+                    let h = l.insert_after(model[pos].0, step);
+                    model.insert(pos + 1, (h, step));
+                }
+            } else {
+                let pos = (r / 3) as usize % model.len();
+                let (h, p) = model.remove(pos);
+                assert_eq!(l.remove(h), p);
+            }
+        }
+        l.check_invariants();
+        assert_eq!(
+            l.to_vec(),
+            model.iter().map(|&(_, p)| p).collect::<Vec<_>>()
+        );
+        for (i, &(h, _)) in model.iter().enumerate() {
+            assert_eq!(l.rank(h), i + 1);
+        }
+    }
+
+    #[test]
+    fn orderseq_contract() {
+        use crate::seq::OrderSeq;
+        let mut s = <SkipList as OrderSeq>::with_seed(7);
+        let a = OrderSeq::insert_last(&mut s, 1);
+        let b = OrderSeq::insert_last(&mut s, 2);
+        assert!(OrderSeq::precedes(&s, a, b));
+        assert!(OrderSeq::order_key(&s, a) < OrderSeq::order_key(&s, b));
+        assert_eq!(OrderSeq::remove(&mut s, a), 1);
+        OrderSeq::validate(&s);
+    }
+}

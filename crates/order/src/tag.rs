@@ -1,0 +1,393 @@
+//! Tag-based order maintenance (list labelling) — the ablation alternative
+//! to the paper's treap `A_k`.
+//!
+//! Every element carries a `u64` *tag*; order queries compare tags in
+//! `O(1)`. Insertion takes the midpoint of the neighbouring tags; when the
+//! local gap is exhausted, the smallest *aligned* tag range around the
+//! insertion point whose density is at most 1/2 is relabelled uniformly
+//! (the classic Itai–Konheim–Rodeh / Bender et al. scheme, amortised
+//! `O(log n)` relabels per insertion in practice).
+//!
+//! Compared with the treap: order tests are `O(1)` instead of
+//! `O(log n)`, but insertions occasionally rewrite many tags, and — unlike
+//! ranks — tags are *not* dense, so the jump heap keys are tags instead of
+//! ranks. The `ablation` benchmark quantifies this trade-off.
+
+use crate::NONE;
+
+/// Tag universe: labels live in `(0, 1 << UNIVERSE_BITS)`.
+const UNIVERSE_BITS: u32 = 62;
+
+#[derive(Clone, Debug)]
+struct Node {
+    next: u32,
+    prev: u32,
+    tag: u64,
+    payload: u32,
+}
+
+/// An order-maintenance list with `u64` tags. Handles are arena indices.
+#[derive(Clone, Debug)]
+pub struct TagList {
+    nodes: Vec<Node>,
+    head: u32,
+    tail: u32,
+    free: Vec<u32>,
+    len: usize,
+    /// Total number of relabelled nodes, for the ablation report.
+    pub relabel_count: u64,
+}
+
+impl Default for TagList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TagList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        TagList {
+            nodes: Vec::new(),
+            head: NONE,
+            tail: NONE,
+            free: Vec::new(),
+            len: 0,
+            relabel_count: 0,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Payload stored at `handle`.
+    #[inline]
+    pub fn payload(&self, handle: u32) -> u32 {
+        self.nodes[handle as usize].payload
+    }
+
+    /// The tag of `handle` — a key that is strictly monotone in list order
+    /// *as long as the list is not mutated*.
+    #[inline]
+    pub fn tag(&self, handle: u32) -> u64 {
+        self.nodes[handle as usize].tag
+    }
+
+    /// `true` iff `a` is strictly before `b` (`O(1)`).
+    #[inline]
+    pub fn precedes(&self, a: u32, b: u32) -> bool {
+        self.nodes[a as usize].tag < self.nodes[b as usize].tag
+    }
+
+    fn alloc(&mut self, payload: u32) -> u32 {
+        let node = Node {
+            next: NONE,
+            prev: NONE,
+            tag: 0,
+            payload,
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    #[inline]
+    fn tag_or(&self, h: u32, default: u64) -> u64 {
+        if h == NONE {
+            default
+        } else {
+            self.nodes[h as usize].tag
+        }
+    }
+
+    /// Inserts `payload` as the first element.
+    pub fn insert_first(&mut self, payload: u32) -> u32 {
+        let x = self.alloc(payload);
+        let old_head = self.head;
+        self.nodes[x as usize].next = old_head;
+        if old_head == NONE {
+            self.tail = x;
+        } else {
+            self.nodes[old_head as usize].prev = x;
+        }
+        self.head = x;
+        self.len += 1;
+        self.assign_tag(x);
+        x
+    }
+
+    /// Inserts `payload` as the last element.
+    pub fn insert_last(&mut self, payload: u32) -> u32 {
+        let x = self.alloc(payload);
+        let old_tail = self.tail;
+        self.nodes[x as usize].prev = old_tail;
+        if old_tail == NONE {
+            self.head = x;
+        } else {
+            self.nodes[old_tail as usize].next = x;
+        }
+        self.tail = x;
+        self.len += 1;
+        self.assign_tag(x);
+        x
+    }
+
+    /// Inserts `payload` right after node `at`.
+    pub fn insert_after(&mut self, at: u32, payload: u32) -> u32 {
+        let x = self.alloc(payload);
+        let nxt = self.nodes[at as usize].next;
+        self.nodes[x as usize].prev = at;
+        self.nodes[x as usize].next = nxt;
+        self.nodes[at as usize].next = x;
+        if nxt == NONE {
+            self.tail = x;
+        } else {
+            self.nodes[nxt as usize].prev = x;
+        }
+        self.len += 1;
+        self.assign_tag(x);
+        x
+    }
+
+    /// Inserts `payload` right before node `at`.
+    pub fn insert_before(&mut self, at: u32, payload: u32) -> u32 {
+        let prv = self.nodes[at as usize].prev;
+        if prv == NONE {
+            self.insert_first(payload)
+        } else {
+            self.insert_after(prv, payload)
+        }
+    }
+
+    /// Removes node `at`, returning its payload. Tags of other nodes are
+    /// untouched.
+    pub fn remove(&mut self, at: u32) -> u32 {
+        let Node { next, prev, .. } = self.nodes[at as usize];
+        if prev == NONE {
+            self.head = next;
+        } else {
+            self.nodes[prev as usize].next = next;
+        }
+        if next == NONE {
+            self.tail = prev;
+        } else {
+            self.nodes[next as usize].prev = prev;
+        }
+        self.len -= 1;
+        self.free.push(at);
+        self.nodes[at as usize].payload
+    }
+
+    /// Gives node `x` (already linked) a tag strictly between its
+    /// neighbours' tags, relabelling locally when the gap is exhausted.
+    fn assign_tag(&mut self, x: u32) {
+        let universe = 1u64 << UNIVERSE_BITS;
+        loop {
+            let prev = self.nodes[x as usize].prev;
+            let next = self.nodes[x as usize].next;
+            let lo = self.tag_or(prev, 0);
+            let hi = self.tag_or(next, universe);
+            if hi - lo >= 2 {
+                self.nodes[x as usize].tag = lo + (hi - lo) / 2;
+                return;
+            }
+            self.relabel_around(x);
+        }
+    }
+
+    /// Finds the smallest aligned tag range containing `x`'s neighbourhood
+    /// with density <= 1/2 and relabels it uniformly.
+    fn relabel_around(&mut self, x: u32) {
+        // x has no valid tag yet; anchor ranges at its predecessor's tag
+        // (or 0 at the head).
+        let prev = self.nodes[x as usize].prev;
+        let anchor = self.tag_or(prev, 0);
+        let mut bits = 1u32;
+        loop {
+            let w = 1u64 << bits;
+            let base = anchor & !(w - 1);
+            let end = base.saturating_add(w).min(1u64 << UNIVERSE_BITS);
+            // Collect the linked nodes (excluding x) whose tags fall in
+            // [base, end); x is spliced into the middle positionally.
+            let mut members: Vec<u32> = Vec::new();
+            // walk left from x's predecessor
+            let mut cur = prev;
+            while cur != NONE && self.nodes[cur as usize].tag >= base {
+                members.push(cur);
+                cur = self.nodes[cur as usize].prev;
+            }
+            members.reverse();
+            members.push(x);
+            let mut cur = self.nodes[x as usize].next;
+            while cur != NONE && self.nodes[cur as usize].tag < end {
+                members.push(cur);
+                cur = self.nodes[cur as usize].next;
+            }
+            let count = members.len() as u64;
+            let span = end - base;
+            // Density <= 1/4 guarantees gap = span/(count+1) >= 2, so both
+            // the fresh tags and the boundary gaps admit a midpoint insert;
+            // otherwise the assign_tag retry loop could live-lock.
+            if bits >= UNIVERSE_BITS || count * 4 <= span {
+                let gap = (span / (count + 1)).max(1);
+                for (j, &m) in members.iter().enumerate() {
+                    self.nodes[m as usize].tag = base + (j as u64 + 1) * gap;
+                }
+                self.relabel_count += count;
+                return;
+            }
+            bits += 1;
+        }
+    }
+
+    /// Front-to-back payload sequence (tests/diagnostics).
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut cur = self.head;
+        while cur != NONE {
+            out.push(self.nodes[cur as usize].payload);
+            cur = self.nodes[cur as usize].next;
+        }
+        out
+    }
+
+    /// Checks link symmetry and strict tag monotonicity.
+    pub fn check_invariants(&self) {
+        let mut cur = self.head;
+        let mut prev = NONE;
+        let mut last_tag = 0u64;
+        let mut count = 0usize;
+        while cur != NONE {
+            let node = &self.nodes[cur as usize];
+            assert_eq!(node.prev, prev, "prev mismatch at {cur}");
+            if count > 0 {
+                assert!(node.tag > last_tag, "tags not strictly increasing");
+            }
+            last_tag = node.tag;
+            prev = cur;
+            cur = node.next;
+            count += 1;
+            assert!(count <= self.nodes.len(), "cycle detected");
+        }
+        assert_eq!(self.tail, prev, "tail mismatch");
+        assert_eq!(count, self.len, "len mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_appends() {
+        let mut l = TagList::new();
+        for i in 0..1000 {
+            l.insert_last(i);
+        }
+        l.check_invariants();
+        assert_eq!(l.to_vec(), (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn front_insert_storm_forces_relabels() {
+        let mut l = TagList::new();
+        for i in 0..5000 {
+            l.insert_first(i);
+        }
+        l.check_invariants();
+        assert!(l.relabel_count > 0, "dense front inserts must relabel");
+        assert_eq!(l.to_vec(), (0..5000).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn midpoint_insert_storm_at_fixed_point() {
+        // Repeated insertion right after the same node is the worst case
+        // for naive midpoint labelling.
+        let mut l = TagList::new();
+        let a = l.insert_last(0);
+        l.insert_last(1);
+        for i in 2..3000 {
+            l.insert_after(a, i);
+        }
+        l.check_invariants();
+        let v = l.to_vec();
+        assert_eq!(v[0], 0);
+        assert_eq!(v[v.len() - 1], 1);
+        assert_eq!(v[1], 2999);
+    }
+
+    #[test]
+    fn precedes_matches_positions() {
+        let mut l = TagList::new();
+        let hs: Vec<u32> = (0..200).map(|i| l.insert_last(i)).collect();
+        for i in 0..hs.len() {
+            for j in (i + 1)..hs.len() {
+                assert!(l.precedes(hs[i], hs[j]));
+                assert!(!l.precedes(hs[j], hs[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn remove_keeps_order() {
+        let mut l = TagList::new();
+        let hs: Vec<u32> = (0..10).map(|i| l.insert_last(i)).collect();
+        assert_eq!(l.remove(hs[0]), 0);
+        assert_eq!(l.remove(hs[9]), 9);
+        assert_eq!(l.remove(hs[4]), 4);
+        l.check_invariants();
+        assert_eq!(l.to_vec(), vec![1, 2, 3, 5, 6, 7, 8]);
+        assert_eq!(l.len(), 7);
+    }
+
+    #[test]
+    fn interleaved_random_ops_match_vec_model() {
+        let mut l = TagList::new();
+        let mut model: Vec<(u32, u32)> = Vec::new();
+        let mut state = 0xDEADBEEFu64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..3000u32 {
+            let r = next();
+            if model.is_empty() || r % 4 != 0 {
+                if model.is_empty() {
+                    let h = l.insert_first(step);
+                    model.insert(0, (h, step));
+                } else {
+                    let pos = (r / 4) as usize % model.len();
+                    let h = l.insert_after(model[pos].0, step);
+                    model.insert(pos + 1, (h, step));
+                }
+            } else {
+                let pos = (r / 4) as usize % model.len();
+                let (h, p) = model.remove(pos);
+                assert_eq!(l.remove(h), p);
+            }
+        }
+        l.check_invariants();
+        assert_eq!(
+            l.to_vec(),
+            model.iter().map(|&(_, p)| p).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # kcore-traversal
+//!
+//! The **traversal** core-maintenance algorithm (Sariyüce, Gedik,
+//! Jacques-Silva, Wu, Çatalyürek — PVLDB'13, VLDBJ'16), the state of the
+//! art the paper compares against (Section IV).
+//!
+//! The implementation maintains, besides the core numbers, the *candidate
+//! degree hierarchy* `cd_1 … cd_h`:
+//!
+//! * `cd_1(u) = mcd(u)` — neighbours `w` with `core(w) >= core(u)`;
+//! * `cd_l(u)` for `l >= 2` counts neighbours `w` with `core(w) > core(u)`
+//!   or `core(w) = core(u) ∧ cd_{l−1}(w) > core(w)` — so `cd_2 = pcd`.
+//!
+//! `Trav-h` seeds its insertion DFS with `cd_h`, improving pruning as `h`
+//! grows, but must keep all `h` levels current after every update: a core
+//! or adjacency change at `v` can invalidate `cd_h` values `h` hops away.
+//! That *h-hop refresh* is precisely the maintenance cost the paper's
+//! Tables II/III attribute to the traversal family, and it is implemented
+//! here faithfully: an expanding frontier of definitional recomputations,
+//! level by level.
+
+pub mod algo;
+pub mod subcore;
+
+pub use algo::{TraversalCore, UpdateStats};
+pub use subcore::SubCoreAlgo;

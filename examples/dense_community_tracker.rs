@@ -1,0 +1,65 @@
+//! Dense-community tracking: keep a live view of the *innermost* core —
+//! the densest nucleus of the network — while friendships appear and
+//! disappear (the churn workload of the paper's Fig 12 stability test).
+//!
+//! Demonstrates mixed insert/remove maintenance and k-core extraction on
+//! top of the maintained index.
+//!
+//! Run with: `cargo run --release --example dense_community_tracker`
+
+use kcore::decomp::bucket::{kcore_subgraph, kcore_vertices};
+use kcore::gen::sample::{EdgeSampler, Op};
+use kcore::gen::{load_dataset, sample_edges, Scale};
+use kcore::OrderCore;
+
+fn main() {
+    let ds = load_dataset("orkut", Scale::Tiny, 100);
+    let full = ds.full_graph();
+    println!(
+        "network: {} members, {} ties",
+        full.num_vertices(),
+        full.num_edges()
+    );
+
+    // Remove a pool of edges to replay with churn (p = 0.2 removals).
+    let pool = sample_edges(&full, 3000, 99);
+    let mut base = full.clone();
+    for &(u, v) in &pool {
+        base.remove_edge(u, v).unwrap();
+    }
+    let mut engine = OrderCore::new(base, 5);
+    let mut sampler = EdgeSampler::new(pool, 123);
+
+    let mut step = 0usize;
+    while let Some(Op::Insert(u, v)) = sampler.next_insert() {
+        engine.insert_edge(u, v).unwrap();
+        if let Some(Op::Remove(a, b)) = sampler.maybe_remove(0.2) {
+            engine.remove_edge(a, b).unwrap();
+        }
+        step += 1;
+        if step.is_multiple_of(600) {
+            report(&engine, step);
+        }
+    }
+    report(&engine, step);
+}
+
+fn report(engine: &OrderCore, step: usize) {
+    let deepest = engine.cores().iter().max().copied().unwrap_or(0);
+    let nucleus = kcore_vertices(engine.cores(), deepest);
+    let sub = kcore_subgraph(engine.graph(), engine.cores(), deepest);
+    let internal_edges = sub.num_edges();
+    println!(
+        "after {:>5} updates: innermost core k = {:>2}, nucleus of {:>3} members, \
+         {:>4} internal ties (density {:.2})",
+        step,
+        deepest,
+        nucleus.len(),
+        internal_edges,
+        if nucleus.len() > 1 {
+            2.0 * internal_edges as f64 / (nucleus.len() as f64 * (nucleus.len() as f64 - 1.0))
+        } else {
+            0.0
+        }
+    );
+}

@@ -1,0 +1,172 @@
+//! End-to-end encodings of the paper's worked examples and claims, run
+//! against the full public API (the facade crate).
+
+use kcore::decomp::regions::subcore_sizes;
+use kcore::decomp::validate::{compute_mcd, compute_pcd};
+use kcore::graph::fixtures::PaperGraph;
+use kcore::{core_decomposition, CoreMaintainer, OrderCore, TraversalCore};
+
+/// Example 3.1: cores, subcores of the Fig 3 graph.
+#[test]
+fn example_3_1_cores_and_subcores() {
+    let pg = PaperGraph::full();
+    let core = core_decomposition(&pg.graph);
+    for i in 0..=2000 {
+        assert_eq!(core[pg.u(i) as usize], 1, "core(u{i})");
+    }
+    for j in 1..=5 {
+        assert_eq!(core[pg.v(j) as usize], 2, "core(v{j})");
+    }
+    for j in 6..=13 {
+        assert_eq!(core[pg.v(j) as usize], 3, "core(v{j})");
+    }
+    // "there does not exist a 4-core in G"
+    assert!(core.iter().all(|&c| c <= 3));
+    // subcores: {v1..v5} unique 2-subcore, two 3-subcores of size 4, one
+    // 1-subcore of 2001 vertices
+    let sc = subcore_sizes(&pg.graph, &core);
+    assert_eq!(sc[pg.v(2) as usize], 5);
+    assert_eq!(sc[pg.v(7) as usize], 4);
+    assert_eq!(sc[pg.v(11) as usize], 4);
+    assert_eq!(sc[pg.u(42) as usize], 2001);
+}
+
+/// Example 4.1: mcd/pcd around the chain after inserting (v4, u0).
+#[test]
+fn example_4_1_mcd_pcd_bounds() {
+    let pg = PaperGraph::full();
+    let mut g = pg.graph.clone();
+    g.insert_edge(pg.v(4), pg.u(0)).unwrap();
+    let core = core_decomposition(&pg.graph); // old cores
+    let mcd = compute_mcd(&g, &core);
+    let pcd = compute_pcd(&g, &core, &mcd);
+    // "both mcd(u0) and pcd(u0) become 4"
+    assert_eq!(mcd[pg.u(0) as usize], 4);
+    assert_eq!(pcd[pg.u(0) as usize], 4);
+    // "mcd(u1999) < 2" — u1999 cannot be in the new 2-core
+    assert!(mcd[pg.u(1999) as usize] < 2);
+    // "mcd(u1997) = 2, pcd(u1997) = 1"
+    assert_eq!(mcd[pg.u(1997) as usize], 2);
+    assert_eq!(pcd[pg.u(1997) as usize], 1);
+}
+
+/// Example 4.2: the traversal algorithm visits ~1,999 vertices and ends
+/// with V* = {u0}.
+#[test]
+fn example_4_2_traversal_blowup() {
+    let pg = PaperGraph::full();
+    let mut trav = TraversalCore::new(pg.graph.clone(), 2);
+    let stats = trav.insert_edge(pg.v(4), pg.u(0)).unwrap();
+    assert_eq!(stats.changed, 1);
+    assert_eq!(trav.core(pg.u(0)), 2);
+    // The DFS walks both chains: 1,999 total (the two leaves u1999 and
+    // u2000 are pruned by the mcd test, u0 + 1,998 interior vertices are
+    // visited).
+    assert_eq!(stats.visited, 1999);
+}
+
+/// Example 5.2: the order-based algorithm visits exactly one vertex for
+/// the same update.
+#[test]
+fn example_5_2_order_visits_one() {
+    let pg = PaperGraph::full();
+    let mut order = OrderCore::new(pg.graph.clone(), 42);
+    let stats = order.insert_edge(pg.v(4), pg.u(0)).unwrap();
+    assert_eq!(stats.changed, 1);
+    assert_eq!(stats.visited, 1);
+    assert_eq!(order.core(pg.u(0)), 2);
+    order.validate();
+}
+
+/// Fig 6's deg+ values hold for the generated k-order (small-deg+-first
+/// may produce a different but equivalent order; the *invariant* checked
+/// is Lemma 5.1 plus the per-level grouping).
+#[test]
+fn fig_6_korder_invariants() {
+    let pg = PaperGraph::full();
+    let order = OrderCore::new(pg.graph.clone(), 0);
+    // O_1 has 2001 vertices, O_2 five, O_3 eight.
+    assert_eq!(order.level_order(1).len(), 2001);
+    assert_eq!(order.level_order(2).len(), 5);
+    assert_eq!(order.level_order(3).len(), 8);
+    // deg+(v) <= k for every v in O_k (Lemma 5.1) — validate() checks it
+    // plus everything else.
+    order.validate();
+}
+
+/// The introduction's headline: on a long chain insertion the traversal
+/// search space is ~3 orders of magnitude larger than the order-based
+/// one.
+#[test]
+fn headline_search_space_gap() {
+    let pg = PaperGraph::full();
+    let mut order = OrderCore::new(pg.graph.clone(), 1);
+    let mut trav = TraversalCore::new(pg.graph.clone(), 2);
+    let o = order.insert(pg.v(4), pg.u(0)).unwrap();
+    let t = trav.insert(pg.v(4), pg.u(0)).unwrap();
+    assert!(t.visited >= 1000 * o.visited);
+}
+
+/// Theorem 3.2 part 3: V* is connected around the inserted edge — a
+/// smoke-level check via the engines' agreement plus locality: inserting
+/// inside one 4-clique never touches the other.
+#[test]
+fn theorem_3_2_locality() {
+    let pg = PaperGraph::full();
+    let mut order = OrderCore::new(pg.graph.clone(), 5);
+    // (v6, v10) joins the two 3-subcores; no core changes (both already
+    // have exactly 3 intra-clique neighbours, the new edge makes 4 for
+    // two vertices but their neighbours cap at mcd 3).
+    let stats = order.insert_edge(pg.v(6), pg.v(10)).unwrap();
+    assert_eq!(stats.changed, 0);
+    assert_eq!(order.core(pg.v(6)), 3);
+    order.validate();
+}
+
+/// Golden values: the O_2 block of the generated k-order carries exactly
+/// the deg+ multiset of Fig 6 ({2, 1, 2, 2, 2}), and O_3 splits into the
+/// two cliques with deg+ {3, 2, 1, 0} each.
+#[test]
+fn fig_6_deg_plus_golden_values() {
+    let pg = PaperGraph::full();
+    let order = OrderCore::new(pg.graph.clone(), 42);
+    let mut o2_degs: Vec<u32> = order
+        .level_order(2)
+        .iter()
+        .map(|&v| order.deg_plus(v))
+        .collect();
+    o2_degs.sort_unstable();
+    assert_eq!(o2_degs, vec![1, 2, 2, 2, 2]);
+    let mut o3_degs: Vec<u32> = order
+        .level_order(3)
+        .iter()
+        .map(|&v| order.deg_plus(v))
+        .collect();
+    o3_degs.sort_unstable();
+    assert_eq!(o3_degs, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    // O_1: every chain vertex has deg+ exactly 1 (Fig 6's bottom row).
+    assert!(order
+        .level_order(1)
+        .iter()
+        .all(|&v| order.deg_plus(v) == 1));
+}
+
+/// The four-engine panorama of the search-space hierarchy on the
+/// paper's own example: |V+| <= |V'| <= |sc| <= n.
+#[test]
+fn search_space_hierarchy_on_fig3() {
+    use kcore::SubCoreAlgo;
+    let pg = PaperGraph::full();
+    let mut order = OrderCore::new(pg.graph.clone(), 1);
+    let mut trav = TraversalCore::new(pg.graph.clone(), 2);
+    let mut sub = SubCoreAlgo::new(pg.graph.clone());
+    let o = order.insert(pg.v(4), pg.u(0)).unwrap();
+    let t = trav.insert(pg.v(4), pg.u(0)).unwrap();
+    let s = sub.insert(pg.v(4), pg.u(0)).unwrap();
+    assert!(o.visited <= t.visited);
+    assert!(t.visited <= s.visited);
+    assert!(s.visited <= pg.graph.num_vertices());
+    assert_eq!(o.visited, 1);
+    assert_eq!(t.visited, 1999);
+    assert_eq!(s.visited, 2001);
+}
