@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the batched update engine: batched vs
+//! one-at-a-time update throughput at several batch sizes, on a
+//! power-law base graph with degree-weighted (preferential-attachment)
+//! update endpoints. Each iteration inserts the whole stream and then
+//! removes it again, so engine state is unchanged across iterations and
+//! no index rebuild pollutes the measurement. The `batch` binary is the
+//! full experiment; this is the quick regression guard.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kcore_bench::degree_weighted_fresh_edges;
+use kcore_gen::barabasi_albert;
+use kcore_maint::TreapOrderCore;
+use std::hint::black_box;
+
+fn bench_batching(c: &mut Criterion) {
+    let g = barabasi_albert(10_000, 4, 7);
+    let stream = degree_weighted_fresh_edges(&g, 2_000, 99);
+    let mut group = c.benchmark_group("insert_remove_stream");
+    group.sample_size(10);
+
+    let mut single = TreapOrderCore::new(g.clone(), 7);
+    group.bench_with_input(BenchmarkId::new("single", "2k"), &stream, |b, stream| {
+        b.iter(|| {
+            for &(u, v) in stream {
+                single.insert_edge(u, v).unwrap();
+            }
+            for &(u, v) in stream.iter().rev() {
+                single.remove_edge(u, v).unwrap();
+            }
+            black_box(single.core(0))
+        });
+    });
+
+    for bs in [100usize, 1_000, 2_000] {
+        let mut batched = TreapOrderCore::new(g.clone(), 7);
+        group.bench_with_input(BenchmarkId::new("batched", bs), &stream, |b, stream| {
+            b.iter(|| {
+                for chunk in stream.chunks(bs) {
+                    let s = batched.insert_edges(chunk);
+                    assert_eq!(s.skipped, 0);
+                }
+                for chunk in stream.rchunks(bs) {
+                    let s = batched.remove_edges(chunk);
+                    assert_eq!(s.skipped, 0);
+                }
+                black_box(batched.core(0))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batching);
+criterion_main!(benches);

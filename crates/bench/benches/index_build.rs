@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kcore_decomp::{core_decomposition, core_decomposition_csr, korder_decomposition, Heuristic};
-use kcore_graph::CsrGraph;
 use kcore_gen::{load_dataset, Scale};
+use kcore_graph::CsrGraph;
 use kcore_maint::TreapOrderCore;
 use kcore_traversal::TraversalCore;
 use std::hint::black_box;
@@ -30,9 +30,13 @@ fn bench_index_build(c: &mut Criterion) {
             b.iter(|| black_box(TreapOrderCore::new(g.clone(), 1)));
         });
         for h in [2usize, 4, 6] {
-            group.bench_with_input(BenchmarkId::new(format!("trav{h}_index"), name), &g, |b, g| {
-                b.iter(|| black_box(TraversalCore::new(g.clone(), h)));
-            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("trav{h}_index"), name),
+                &g,
+                |b, g| {
+                    b.iter(|| black_box(TraversalCore::new(g.clone(), h)));
+                },
+            );
         }
     }
     group.finish();

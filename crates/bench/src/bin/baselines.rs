@@ -86,9 +86,18 @@ fn main() {
                 fmt_secs(t_rem.elapsed),
                 fmt_secs(s_rem.elapsed),
                 "-".into(),
-                fmt_ratio(o_rem.stats.visited as f64, o_rem.stats.changed.max(1) as f64),
-                fmt_ratio(t_rem.stats.visited as f64, t_rem.stats.changed.max(1) as f64),
-                fmt_ratio(s_rem.stats.visited as f64, s_rem.stats.changed.max(1) as f64),
+                fmt_ratio(
+                    o_rem.stats.visited as f64,
+                    o_rem.stats.changed.max(1) as f64,
+                ),
+                fmt_ratio(
+                    t_rem.stats.visited as f64,
+                    t_rem.stats.changed.max(1) as f64,
+                ),
+                fmt_ratio(
+                    s_rem.stats.visited as f64,
+                    s_rem.stats.changed.max(1) as f64,
+                ),
             ],
             12,
             11,

@@ -1,0 +1,233 @@
+//! Batched vs one-at-a-time vs full-recompute update throughput.
+//!
+//! The experiment behind the batched update engine: build a power-law
+//! base graph, prepare a stream of new edges, and apply it three ways —
+//!
+//! * **batched** — `OrderCore::insert_edges` / `remove_edges` in chunks
+//!   of `batch_size` (adjacency pre-reservation, level-sorted
+//!   application, rank caching);
+//! * **single** — the classic `insert_edge` / `remove_edge` loop;
+//! * **recompute** — mutate the graph and rerun the `O(m + n)`
+//!   decomposition once per chunk (the "no index" strawman, which
+//!   batching *should* beat until chunks approach the graph size).
+//!
+//! Results go to stdout as a table and to `BENCH_batch.json` as
+//! machine-readable edges/sec per batch size, so future changes can
+//! track the throughput curve. Run with `--release`; the JSON includes
+//! the batched-vs-single ratio the acceptance gate reads.
+
+use kcore_bench::{degree_weighted_fresh_edges, fmt_ratio, row};
+use kcore_decomp::core_decomposition;
+use kcore_gen::barabasi_albert;
+use kcore_maint::TreapOrderCore;
+use std::io::Write;
+use std::time::Instant;
+
+struct Args {
+    n: usize,
+    attach: usize,
+    updates: usize,
+    seed: u64,
+    out: String,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut a = Args {
+            n: 50_000,
+            attach: 4,
+            updates: 10_000,
+            seed: 42,
+            out: "BENCH_batch.json".to_string(),
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let need = |i: usize| {
+                argv.get(i + 1)
+                    .unwrap_or_else(|| panic!("flag {} needs a value", argv[i]))
+            };
+            match argv[i].as_str() {
+                "--n" => a.n = need(i).parse().expect("bad --n"),
+                "--attach" => a.attach = need(i).parse().expect("bad --attach"),
+                "--updates" => a.updates = need(i).parse().expect("bad --updates"),
+                "--seed" => a.seed = need(i).parse().expect("bad --seed"),
+                "--out" => a.out = need(i).clone(),
+                "--help" | "-h" => {
+                    eprintln!("flags: --n N  --attach M  --updates K  --seed S  --out FILE");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other:?} (try --help)"),
+            }
+            i += 2;
+        }
+        a
+    }
+}
+
+struct Measurement {
+    batch_size: usize,
+    batched_eps: f64,
+    single_eps: f64,
+    recompute_eps: f64,
+}
+
+fn edges_per_sec(edges: usize, secs: f64) -> f64 {
+    if secs == 0.0 {
+        f64::INFINITY
+    } else {
+        edges as f64 / secs
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let g = barabasi_albert(args.n, args.attach, args.seed);
+    let stream = degree_weighted_fresh_edges(&g, args.updates, args.seed ^ 0xBEEF);
+    println!(
+        "base graph: n = {}, m = {} (barabasi_albert attach {}), stream = {} fresh edges\n",
+        g.num_vertices(),
+        g.num_edges(),
+        args.attach,
+        args.updates
+    );
+
+    // Untimed warm-up: touches every structure once so the first timed
+    // measurement does not pay cold caches / CPU frequency ramp.
+    {
+        let mut warm = TreapOrderCore::new(g.clone(), args.seed);
+        for &(u, v) in &stream {
+            warm.insert_edge(u, v).expect("fresh edge");
+        }
+    }
+
+    // Every timed configuration is measured `REPS` times keeping the
+    // best (minimum) wall time, and the repetitions of *all*
+    // configurations are interleaved — so slow host intervals (this is
+    // typically a shared/virtualised box) hit every configuration
+    // equally instead of biasing whichever ran during the bad window.
+    const REPS: usize = 5;
+
+    // 1..=1k per the bench-trajectory protocol, plus the whole stream as
+    // one batch — the "batched insertion of 10k edges" headline number.
+    let mut batch_sizes = vec![1usize, 10, 100, 1_000];
+    if args.updates > 1_000 {
+        batch_sizes.push(args.updates);
+    }
+
+    let mut single_secs = f64::INFINITY;
+    let mut batched_secs = vec![f64::INFINITY; batch_sizes.len()];
+    let mut batched_cores: Vec<u32> = Vec::new();
+    for _ in 0..REPS {
+        // One-at-a-time reference (batch size is irrelevant to it).
+        let mut engine = TreapOrderCore::new(g.clone(), args.seed);
+        let t = Instant::now();
+        for &(u, v) in &stream {
+            engine.insert_edge(u, v).expect("fresh edge");
+        }
+        single_secs = single_secs.min(t.elapsed().as_secs_f64());
+
+        for (bi, &bs) in batch_sizes.iter().enumerate() {
+            let mut engine = TreapOrderCore::new(g.clone(), args.seed);
+            let t = Instant::now();
+            let mut stats = kcore_maint::UpdateStats::default();
+            for chunk in stream.chunks(bs) {
+                stats.absorb(engine.insert_edges(chunk));
+            }
+            batched_secs[bi] = batched_secs[bi].min(t.elapsed().as_secs_f64());
+            assert_eq!(stats.skipped, 0, "stream contains only fresh edges");
+            batched_cores = engine.cores().to_vec();
+        }
+    }
+    let single_eps = edges_per_sec(stream.len(), single_secs);
+
+    let mut results: Vec<Measurement> = Vec::new();
+    for (bi, &bs) in batch_sizes.iter().enumerate() {
+        // Full recompute per chunk (once; it is never the contended
+        // comparison and its cost is orders of magnitude off either way).
+        let mut graph = g.clone();
+        let t = Instant::now();
+        let mut cores = Vec::new();
+        for chunk in stream.chunks(bs) {
+            for &(u, v) in chunk {
+                graph.insert_edge_unchecked(u, v);
+            }
+            cores = core_decomposition(&graph);
+        }
+        let recompute_secs = t.elapsed().as_secs_f64();
+        assert_eq!(cores, batched_cores, "engines disagree");
+
+        results.push(Measurement {
+            batch_size: bs,
+            batched_eps: edges_per_sec(stream.len(), batched_secs[bi]),
+            single_eps,
+            recompute_eps: edges_per_sec(stream.len(), recompute_secs),
+        });
+    }
+
+    row(
+        &[
+            "batch".into(),
+            "batched e/s".into(),
+            "single e/s".into(),
+            "recompute e/s".into(),
+            "batched/single".into(),
+            "batched/recompute".into(),
+        ],
+        8,
+        18,
+    );
+    for m in &results {
+        row(
+            &[
+                format!("{}", m.batch_size),
+                format!("{:.0}", m.batched_eps),
+                format!("{:.0}", m.single_eps),
+                format!("{:.0}", m.recompute_eps),
+                fmt_ratio(m.batched_eps, m.single_eps),
+                fmt_ratio(m.batched_eps, m.recompute_eps),
+            ],
+            8,
+            18,
+        );
+    }
+
+    let headline = results
+        .iter()
+        .map(|m| m.batched_eps / m.single_eps)
+        .fold(f64::MIN, f64::max);
+    println!("\nbest batched/single ratio: {headline:.2}x (target >= 1.5x)");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"base\": {{ \"n\": {}, \"m\": {}, \"generator\": \"barabasi_albert\", \"attach\": {}, \"seed\": {} }},\n",
+        g.num_vertices(),
+        g.num_edges(),
+        args.attach,
+        args.seed
+    ));
+    json.push_str(&format!("  \"updates\": {},\n", args.updates));
+    json.push_str(&format!("  \"single_edges_per_sec\": {:.1},\n", single_eps));
+    json.push_str("  \"batch\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"batch_size\": {}, \"batched_edges_per_sec\": {:.1}, \"recompute_edges_per_sec\": {:.1}, \"ratio_vs_single\": {:.3}, \"ratio_vs_recompute\": {:.3} }}{}\n",
+            m.batch_size,
+            m.batched_eps,
+            m.recompute_eps,
+            m.batched_eps / m.single_eps,
+            m.batched_eps / m.recompute_eps,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"best_ratio_vs_single\": {:.3},\n  \"target_ratio\": 1.5\n}}\n",
+        headline
+    ));
+    let mut f = std::fs::File::create(&args.out).expect("create BENCH_batch.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_batch.json");
+    println!("wrote {}", args.out);
+}

@@ -72,7 +72,10 @@ fn main() {
                         engine.remove(a, b).expect("remove");
                     }
                 }
-                line.push_str(&format!(" {:>14.1}", start.elapsed().as_secs_f64() * 1000.0));
+                line.push_str(&format!(
+                    " {:>14.1}",
+                    start.elapsed().as_secs_f64() * 1000.0
+                ));
             }
             if !any || group >= GROUPS {
                 break;

@@ -15,7 +15,11 @@ fn main() {
         "== Table II: accumulated update time in seconds ({} updates, scale {:?}) ==",
         cli.updates, cli.scale
     );
-    let mut header = vec!["dataset".to_string(), "phase".to_string(), "Order".to_string()];
+    let mut header = vec![
+        "dataset".to_string(),
+        "phase".to_string(),
+        "Order".to_string(),
+    ];
     header.extend(HOPS.iter().map(|h| format!("Trav-{h}")));
     row(&header, 12, 10);
 
@@ -28,7 +32,11 @@ fn main() {
         let o_rem = time_removals(&mut order, &ds.stream);
         let reference = order.core_slice().to_vec();
 
-        let mut ins_cells = vec![name.to_string(), "insert".to_string(), fmt_secs(o_ins.elapsed)];
+        let mut ins_cells = vec![
+            name.to_string(),
+            "insert".to_string(),
+            fmt_secs(o_ins.elapsed),
+        ];
         let mut rem_cells = vec![String::new(), "remove".to_string(), fmt_secs(o_rem.elapsed)];
         for &h in &HOPS {
             let mut trav = trav_engine(&ds, h);

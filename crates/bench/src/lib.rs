@@ -8,9 +8,11 @@
 //! fixed-width table printing.
 
 use kcore_gen::{load_dataset, Dataset, Scale, DATASETS};
-use kcore_graph::VertexId;
+use kcore_graph::{edge_key, DynamicGraph, FxHashSet, VertexId};
 use kcore_maint::{CoreMaintainer, TreapOrderCore};
 use kcore_traversal::{TraversalCore, UpdateStats};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
 
 /// Parsed command-line options shared by every experiment binary.
@@ -162,6 +164,41 @@ pub fn order_engine(ds: &Dataset, seed: u64) -> TreapOrderCore {
 /// Builds a `Trav-h` engine over a dataset's base graph.
 pub fn trav_engine(ds: &Dataset, h: usize) -> TraversalCore {
     TraversalCore::new(ds.base.clone(), h)
+}
+
+/// `count` fresh edges absent from `g` (and distinct from each other),
+/// with **degree-weighted** endpoints: each endpoint is drawn as a random
+/// half-edge target, i.e. with probability proportional to its degree —
+/// the preferential-attachment arrival model real power-law streams
+/// follow (new links overwhelmingly touch hubs). Shared by the batch
+/// experiment binary and the batching micro-bench.
+pub fn degree_weighted_fresh_edges(
+    g: &DynamicGraph,
+    count: usize,
+    seed: u64,
+) -> Vec<(VertexId, VertexId)> {
+    let edges = g.edge_vec();
+    assert!(!edges.is_empty(), "base graph has no edges to weight by");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    let mut out = Vec::with_capacity(count);
+    let pick = |rng: &mut SmallRng| {
+        let (a, b) = edges[rng.gen_range(0..edges.len())];
+        if rng.gen_bool(0.5) {
+            a
+        } else {
+            b
+        }
+    };
+    while out.len() < count {
+        let u = pick(&mut rng);
+        let v = pick(&mut rng);
+        if u == v || g.has_edge(u, v) || !seen.insert(edge_key(u, v)) {
+            continue;
+        }
+        out.push((u, v));
+    }
+    out
 }
 
 /// Prints a fixed-width row: first cell `w0` wide, rest `w` wide.

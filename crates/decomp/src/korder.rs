@@ -244,7 +244,11 @@ pub fn korder_decomposition(g: &DynamicGraph, heuristic: Heuristic, seed: u64) -
     let mut deg_plus = vec![0u32; n];
     for v in 0..n as u32 {
         let pv = pos[v as usize];
-        deg_plus[v as usize] = g.neighbors(v).iter().filter(|&&w| pos[w as usize] > pv).count() as u32;
+        deg_plus[v as usize] = g
+            .neighbors(v)
+            .iter()
+            .filter(|&&w| pos[w as usize] > pv)
+            .count() as u32;
     }
 
     KOrder {

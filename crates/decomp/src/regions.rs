@@ -137,10 +137,7 @@ pub fn ordercore_sizes(g: &DynamicGraph, ko: &KOrder, vertices: &[VertexId]) -> 
                 count += 1;
                 for &w in g.neighbors(v) {
                     let wi = w as usize;
-                    if mark[wi] != epoch
-                        && ko.core[wi] == cu
-                        && pos[wi] > pos[v as usize]
-                    {
+                    if mark[wi] != epoch && ko.core[wi] == cu && pos[wi] > pos[v as usize] {
                         mark[wi] = epoch;
                         stack.push(w);
                     }

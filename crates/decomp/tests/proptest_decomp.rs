@@ -10,8 +10,11 @@ use kcore_graph::DynamicGraph;
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = DynamicGraph> {
-    (2u32..40, prop::collection::vec((any::<u32>(), any::<u32>()), 0..160)).prop_map(
-        |(n, pairs)| {
+    (
+        2u32..40,
+        prop::collection::vec((any::<u32>(), any::<u32>()), 0..160),
+    )
+        .prop_map(|(n, pairs)| {
             let mut g = DynamicGraph::with_vertices(n as usize);
             for (a, b) in pairs {
                 let (a, b) = (a % n, b % n);
@@ -20,8 +23,7 @@ fn arb_graph() -> impl Strategy<Value = DynamicGraph> {
                 }
             }
             g
-        },
-    )
+        })
 }
 
 proptest! {

@@ -58,7 +58,13 @@ pub fn heterogeneous_social(n: usize, m_mean: usize, p_triangle: f64, seed: u64)
     })
 }
 
-fn holme_kim_with<F>(n: usize, m_per: usize, p_triangle: f64, seed: u64, mut attach: F) -> DynamicGraph
+fn holme_kim_with<F>(
+    n: usize,
+    m_per: usize,
+    p_triangle: f64,
+    seed: u64,
+    mut attach: F,
+) -> DynamicGraph
 where
     F: FnMut(&mut SmallRng) -> usize,
 {
@@ -342,7 +348,10 @@ mod tests {
         g.check_consistency().unwrap();
         let core = core_decomposition(&g);
         let k = max_core(&core);
-        assert!((2..=3).contains(&k), "road networks peak at core 3, got {k}");
+        assert!(
+            (2..=3).contains(&k),
+            "road networks peak at core 3, got {k}"
+        );
         assert!(g.avg_degree() < 4.5);
     }
 

@@ -130,7 +130,10 @@ mod tests {
         let g = fixtures::clique(10); // 45 edges
         let s = sample_edges(&g, 20, 3);
         assert_eq!(s.len(), 20);
-        let mut keys: Vec<u64> = s.iter().map(|&(u, v)| kcore_graph::edge_key(u, v)).collect();
+        let mut keys: Vec<u64> = s
+            .iter()
+            .map(|&(u, v)| kcore_graph::edge_key(u, v))
+            .collect();
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), 20);

@@ -29,6 +29,45 @@ pub fn timestamp_edges(g: &DynamicGraph, max_gap: u64, seed: u64) -> Vec<Tempora
         .collect()
 }
 
+/// Groups a temporal stream into **update batches** for the batched
+/// maintenance engine: each batch spans at most `span` time units and
+/// holds at most `max_len` edges (whichever closes first). The stream is
+/// sorted by timestamp first, so concatenating the batches reproduces
+/// the arrival order.
+///
+/// This is the shape real ingestion pipelines deliver — a micro-batch
+/// per flush interval — and what `OrderCore::insert_edges` is optimised
+/// for.
+pub fn batch_stream(
+    edges: &[TemporalEdge],
+    span: u64,
+    max_len: usize,
+) -> Vec<Vec<(VertexId, VertexId)>> {
+    assert!(span > 0, "batch span must be positive");
+    assert!(max_len > 0, "batch capacity must be positive");
+    let mut sorted: Vec<TemporalEdge> = edges.to_vec();
+    sorted.sort_by_key(|e| e.t);
+    let mut batches = Vec::new();
+    let mut current: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut window_start = sorted.first().map(|e| e.t).unwrap_or(0);
+    for e in &sorted {
+        if !current.is_empty()
+            && (e.t >= window_start.saturating_add(span) || current.len() >= max_len)
+        {
+            batches.push(std::mem::take(&mut current));
+            window_start = e.t;
+        }
+        if current.is_empty() {
+            window_start = e.t;
+        }
+        current.push((e.u, e.v));
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    batches
+}
+
 /// A sliding-window view over a temporal stream: maintains the graph of
 /// edges whose timestamp lies within the last `window` time units,
 /// yielding the inserts and expiries the caller must apply.
@@ -75,7 +114,10 @@ impl SlidingWindow {
         let now = if self.head < self.edges.len() {
             self.edges[self.head].t
         } else {
-            self.edges.last().map(|e| e.t + self.window + 1).unwrap_or(0)
+            self.edges
+                .last()
+                .map(|e| e.t + self.window + 1)
+                .unwrap_or(0)
         };
         if self.tail < self.head {
             let oldest = self.edges[self.tail];
@@ -115,6 +157,25 @@ mod tests {
         assert_eq!(ts.len(), g.num_edges());
         for w in ts.windows(2) {
             assert!(w[0].t < w[1].t);
+        }
+    }
+
+    #[test]
+    fn batch_stream_partitions_the_stream() {
+        let g = barabasi_albert(150, 3, 5);
+        let ts = timestamp_edges(&g, 4, 6);
+        for (span, max_len) in [(1, usize::MAX), (10, usize::MAX), (u64::MAX, 7), (25, 16)] {
+            let batches = batch_stream(&ts, span, max_len);
+            let total: usize = batches.iter().map(Vec::len).sum();
+            assert_eq!(total, ts.len(), "no edge lost or duplicated");
+            assert!(batches.iter().all(|b| !b.is_empty()));
+            assert!(batches.iter().all(|b| b.len() <= max_len));
+            // concatenation preserves timestamp order
+            let flat: Vec<(u32, u32)> = batches.concat();
+            let mut sorted = ts.clone();
+            sorted.sort_by_key(|e| e.t);
+            let expect: Vec<(u32, u32)> = sorted.iter().map(|e| (e.u, e.v)).collect();
+            assert_eq!(flat, expect);
         }
     }
 

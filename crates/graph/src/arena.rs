@@ -1,0 +1,347 @@
+//! A flat adjacency arena: every neighbour list lives in **one**
+//! contiguous backing buffer.
+//!
+//! The per-vertex `Vec<Vec<VertexId>>` representation costs one heap
+//! allocation per vertex and scatters neighbour lists across the heap —
+//! and neighbour scanning is the inner loop of every core-maintenance
+//! algorithm in this workspace. [`AdjArena`] replaces it with:
+//!
+//! * one backing `Vec<VertexId>` (`buf`) holding every neighbour list;
+//! * per-vertex `(offset, len, cap)` slots into that buffer;
+//! * **amortised-doubling growth**: a list that outgrows its slot is
+//!   relocated to the end of the buffer with doubled capacity (the old
+//!   slot becomes a hole);
+//! * **CSR-style compaction on demand**: when holes exceed the live
+//!   data, the buffer is rebuilt tight-packed in vertex order — which
+//!   also restores perfect scan locality;
+//! * **batch pre-reservation** ([`AdjArena::reserve`]): a caller that
+//!   knows how many neighbours a vertex is about to gain can size the
+//!   slot once, so the steady-state push path never allocates or
+//!   relocates (the zero-per-edge-allocation guarantee the batched
+//!   update engine relies on).
+//!
+//! Offsets are `u32`, capping the buffer at `2^32` half-edges (2 billion
+//! undirected edges) — beyond the scale anything in this workspace
+//! addresses, and half the per-slot metadata of `usize` offsets.
+
+use crate::graph::VertexId;
+
+/// Compact once the backing buffer exceeds `GROWTH_FACTOR * live + SLACK`
+/// entries (i.e. holes outweigh live data by the factor).
+const COMPACT_FACTOR: usize = 2;
+const COMPACT_SLACK: usize = 4096;
+
+/// Minimum slot capacity allocated on first growth.
+const MIN_CAP: u32 = 4;
+
+/// Flat adjacency storage: one contiguous buffer, per-vertex slices.
+#[derive(Clone, Default)]
+pub struct AdjArena {
+    /// Backing storage for every neighbour list.
+    buf: Vec<VertexId>,
+    /// Per-vertex slot start in `buf`.
+    off: Vec<u32>,
+    /// Per-vertex live length.
+    len: Vec<u32>,
+    /// Per-vertex slot capacity (`len <= cap`).
+    cap: Vec<u32>,
+    /// Sum of `len` — the number of live half-edges.
+    live: usize,
+}
+
+impl AdjArena {
+    /// An empty arena with no vertices.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An arena with `n` empty neighbour lists.
+    pub fn with_vertices(n: usize) -> Self {
+        AdjArena {
+            buf: Vec::new(),
+            off: vec![0; n],
+            len: vec![0; n],
+            cap: vec![0; n],
+            live: 0,
+        }
+    }
+
+    /// Number of vertices (slots).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.off.len()
+    }
+
+    /// Live half-edge count (sum of list lengths, i.e. `2m`).
+    #[inline]
+    pub fn half_edges(&self) -> usize {
+        self.live
+    }
+
+    /// Total backing-buffer entries, live + holes (diagnostics).
+    #[inline]
+    pub fn backing_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Appends one empty slot; returns its vertex id.
+    pub fn push_vertex(&mut self) -> VertexId {
+        let id = self.off.len() as VertexId;
+        self.off.push(0);
+        self.len.push(0);
+        self.cap.push(0);
+        id
+    }
+
+    /// Grows the vertex range so `v` is a valid slot.
+    pub fn ensure_vertex(&mut self, v: VertexId) {
+        let need = v as usize + 1;
+        if need > self.off.len() {
+            self.off.resize(need, 0);
+            self.len.resize(need, 0);
+            self.cap.resize(need, 0);
+        }
+    }
+
+    /// Neighbour list of `v`.
+    #[inline]
+    pub fn slice(&self, v: VertexId) -> &[VertexId] {
+        let vi = v as usize;
+        let o = self.off[vi] as usize;
+        &self.buf[o..o + self.len[vi] as usize]
+    }
+
+    /// Mutable neighbour list of `v`.
+    #[inline]
+    pub fn slice_mut(&mut self, v: VertexId) -> &mut [VertexId] {
+        let vi = v as usize;
+        let o = self.off[vi] as usize;
+        &mut self.buf[o..o + self.len[vi] as usize]
+    }
+
+    /// List length of `v`.
+    #[inline]
+    pub fn len_of(&self, v: VertexId) -> usize {
+        self.len[v as usize] as usize
+    }
+
+    /// Spare capacity of `v`'s slot.
+    #[inline]
+    pub fn spare(&self, v: VertexId) -> usize {
+        let vi = v as usize;
+        (self.cap[vi] - self.len[vi]) as usize
+    }
+
+    /// Relocates `v`'s list to the end of the buffer with capacity
+    /// `new_cap` (callers guarantee `new_cap >= len`).
+    #[cold]
+    fn relocate(&mut self, vi: usize, new_cap: u32) {
+        debug_assert!(new_cap >= self.len[vi]);
+        let old_off = self.off[vi] as usize;
+        let l = self.len[vi] as usize;
+        let new_off = self.buf.len();
+        assert!(
+            new_off + new_cap as usize <= u32::MAX as usize,
+            "AdjArena backing buffer exceeds u32 offsets"
+        );
+        self.buf.extend_from_within(old_off..old_off + l);
+        // Fill the headroom so `buf.len()` always covers every slot.
+        self.buf.resize(new_off + new_cap as usize, 0);
+        self.off[vi] = new_off as u32;
+        self.cap[vi] = new_cap;
+    }
+
+    /// Ensures `v`'s slot can take `additional` more neighbours without
+    /// relocating. One relocation at most — this is the batch
+    /// pre-reservation hook.
+    pub fn reserve(&mut self, v: VertexId, additional: usize) {
+        let vi = v as usize;
+        let need = self.len[vi] as u64 + additional as u64;
+        assert!(
+            need <= u32::MAX as u64,
+            "AdjArena slot capacity exceeds u32 offsets"
+        );
+        if need > self.cap[vi] as u64 {
+            self.relocate(vi, (need as u32).max(MIN_CAP));
+        }
+    }
+
+    /// Appends `w` to `v`'s list (amortised `O(1)`; relocates with
+    /// doubled capacity when the slot is full).
+    #[inline]
+    pub fn push(&mut self, v: VertexId, w: VertexId) {
+        let vi = v as usize;
+        if self.len[vi] == self.cap[vi] {
+            let new_cap = (self.cap[vi] * 2).max(MIN_CAP);
+            self.relocate(vi, new_cap);
+        }
+        let slot = self.off[vi] as usize + self.len[vi] as usize;
+        self.buf[slot] = w;
+        self.len[vi] += 1;
+        self.live += 1;
+    }
+
+    /// Removes the element at `idx` of `v`'s list by swapping the last
+    /// element into its place (`O(1)`, order not preserved).
+    #[inline]
+    pub fn swap_remove(&mut self, v: VertexId, idx: usize) -> VertexId {
+        let vi = v as usize;
+        let l = self.len[vi] as usize;
+        debug_assert!(idx < l);
+        let o = self.off[vi] as usize;
+        let removed = self.buf[o + idx];
+        self.buf[o + idx] = self.buf[o + l - 1];
+        self.len[vi] -= 1;
+        self.live -= 1;
+        removed
+    }
+
+    /// Position of `w` in `v`'s list.
+    #[inline]
+    pub fn position(&self, v: VertexId, w: VertexId) -> Option<usize> {
+        self.slice(v).iter().position(|&x| x == w)
+    }
+
+    /// `true` when holes outweigh live data and a [`compact`][Self::compact]
+    /// would pay off.
+    #[inline]
+    pub fn should_compact(&self) -> bool {
+        self.buf.len() > COMPACT_FACTOR * self.live + COMPACT_SLACK
+    }
+
+    /// Rebuilds the buffer tight-packed in vertex order (CSR layout):
+    /// drops every hole and restores sequential-scan locality. `O(live)`.
+    pub fn compact(&mut self) {
+        let mut new_buf = Vec::with_capacity(self.live);
+        for vi in 0..self.off.len() {
+            let o = self.off[vi] as usize;
+            let l = self.len[vi] as usize;
+            self.off[vi] = new_buf.len() as u32;
+            self.cap[vi] = l as u32;
+            new_buf.extend_from_slice(&self.buf[o..o + l]);
+        }
+        self.buf = new_buf;
+    }
+
+    /// Verifies slot invariants (tests / debug).
+    pub fn check(&self) -> Result<(), String> {
+        let n = self.off.len();
+        if self.len.len() != n || self.cap.len() != n {
+            return Err("slot vectors disagree on n".into());
+        }
+        let mut live = 0usize;
+        for vi in 0..n {
+            if self.len[vi] > self.cap[vi] {
+                return Err(format!("len > cap at vertex {vi}"));
+            }
+            let end = self.off[vi] as usize + self.cap[vi] as usize;
+            if end > self.buf.len() {
+                return Err(format!("slot of vertex {vi} overruns the buffer"));
+            }
+            live += self.len[vi] as usize;
+        }
+        if live != self.live {
+            return Err(format!(
+                "live count mismatch: counted {live}, stored {}",
+                self.live
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_slice_roundtrip() {
+        let mut a = AdjArena::with_vertices(3);
+        a.push(0, 5);
+        a.push(1, 6);
+        a.push(0, 7);
+        a.push(2, 8);
+        a.push(0, 9);
+        assert_eq!(a.slice(0), &[5, 7, 9]);
+        assert_eq!(a.slice(1), &[6]);
+        assert_eq!(a.slice(2), &[8]);
+        assert_eq!(a.half_edges(), 5);
+        a.check().unwrap();
+    }
+
+    #[test]
+    fn growth_relocates_and_preserves_content() {
+        let mut a = AdjArena::with_vertices(2);
+        for i in 0..100u32 {
+            a.push(0, i);
+            a.push(1, 1000 + i);
+        }
+        assert_eq!(a.slice(0), (0..100).collect::<Vec<_>>().as_slice());
+        assert_eq!(a.slice(1), (1000..1100).collect::<Vec<_>>().as_slice());
+        a.check().unwrap();
+    }
+
+    #[test]
+    fn swap_remove_behaves_like_vec() {
+        let mut a = AdjArena::with_vertices(1);
+        for i in 0..5u32 {
+            a.push(0, i);
+        }
+        let mut model = vec![0u32, 1, 2, 3, 4];
+        assert_eq!(a.swap_remove(0, 1), model.swap_remove(1));
+        assert_eq!(a.slice(0), model.as_slice());
+        assert_eq!(a.swap_remove(0, 3), model.swap_remove(3));
+        assert_eq!(a.slice(0), model.as_slice());
+        a.check().unwrap();
+    }
+
+    #[test]
+    fn reserve_prevents_relocation() {
+        let mut a = AdjArena::with_vertices(2);
+        a.push(0, 1);
+        a.reserve(0, 50);
+        let off_before = a.off[0];
+        for i in 0..50u32 {
+            a.push(0, i);
+        }
+        assert_eq!(a.off[0], off_before, "reserve should pre-size the slot");
+        assert_eq!(a.len_of(0), 51);
+        a.check().unwrap();
+    }
+
+    #[test]
+    fn compact_drops_holes() {
+        let mut a = AdjArena::with_vertices(8);
+        for v in 0..8u32 {
+            for i in 0..20u32 {
+                a.push(v, i);
+            }
+        }
+        let before: Vec<Vec<u32>> = (0..8).map(|v| a.slice(v).to_vec()).collect();
+        assert!(a.backing_len() > a.half_edges());
+        a.compact();
+        assert_eq!(a.backing_len(), a.half_edges());
+        for v in 0..8u32 {
+            assert_eq!(a.slice(v), before[v as usize].as_slice());
+        }
+        a.check().unwrap();
+    }
+
+    #[test]
+    fn ensure_vertex_grows_slots() {
+        let mut a = AdjArena::new();
+        a.ensure_vertex(3);
+        assert_eq!(a.num_vertices(), 4);
+        a.push(3, 1);
+        assert_eq!(a.slice(3), &[1]);
+        a.check().unwrap();
+    }
+
+    #[test]
+    fn empty_slices_are_fine() {
+        let a = AdjArena::with_vertices(4);
+        for v in 0..4u32 {
+            assert!(a.slice(v).is_empty());
+        }
+    }
+}

@@ -33,7 +33,10 @@ impl PaperGraph {
     /// Builds the Fig 3 graph with `u0 … u_chain` (the paper's instance is
     /// [`PaperGraph::full`]; tests mostly use [`PaperGraph::small`]).
     pub fn new(chain: u32) -> Self {
-        assert!(chain >= 4 && chain.is_multiple_of(2), "chain must be even and >= 4");
+        assert!(
+            chain >= 4 && chain.is_multiple_of(2),
+            "chain must be even and >= 4"
+        );
         let n = chain as usize + 1 + 13;
         let mut g = DynamicGraph::with_vertices(n);
 

@@ -1,5 +1,6 @@
 //! The dynamic undirected simple graph used by all maintenance algorithms.
 
+use crate::arena::AdjArena;
 use std::fmt;
 
 /// Dense vertex identifier. Vertices are numbered `0..n`, which lets every
@@ -39,9 +40,13 @@ impl std::error::Error for EdgeListError {}
 /// `O(deg)` edge removal.
 ///
 /// Both core-maintenance algorithm families spend almost all of their time
-/// scanning neighbour lists, so adjacency is a plain `Vec<Vec<VertexId>>`:
-/// contiguous, no hashing on the hot path. Edge-existence probes (used to
-/// keep the graph simple) scan the smaller endpoint's list.
+/// scanning neighbour lists, so adjacency lives in a flat [`AdjArena`]:
+/// **one** contiguous backing buffer with per-vertex slices, instead of a
+/// `Vec<Vec<VertexId>>` whose per-vertex heap allocations scatter the
+/// neighbour lists. Scans stay `&[VertexId]`, no hashing on the hot path,
+/// and batch writers can pre-reserve slot capacity so the steady-state
+/// insertion path performs zero heap allocation. Edge-existence probes
+/// (used to keep the graph simple) scan the smaller endpoint's list.
 ///
 /// ```
 /// use kcore_graph::DynamicGraph;
@@ -56,7 +61,7 @@ impl std::error::Error for EdgeListError {}
 /// ```
 #[derive(Clone, Default)]
 pub struct DynamicGraph {
-    adj: Vec<Vec<VertexId>>,
+    adj: AdjArena,
     m: usize,
 }
 
@@ -69,7 +74,7 @@ impl DynamicGraph {
     /// Creates a graph with `n` isolated vertices `0..n`.
     pub fn with_vertices(n: usize) -> Self {
         DynamicGraph {
-            adj: vec![Vec::new(); n],
+            adj: AdjArena::with_vertices(n),
             m: 0,
         }
     }
@@ -92,7 +97,7 @@ impl DynamicGraph {
     /// Number of vertices (`n`).
     #[inline]
     pub fn num_vertices(&self) -> usize {
-        self.adj.len()
+        self.adj.num_vertices()
     }
 
     /// Number of undirected edges (`m`).
@@ -104,46 +109,43 @@ impl DynamicGraph {
     /// `true` when the graph has no vertices.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+        self.adj.num_vertices() == 0
     }
 
     /// Adds one isolated vertex and returns its id.
     pub fn add_vertex(&mut self) -> VertexId {
-        let id = self.adj.len() as VertexId;
-        self.adj.push(Vec::new());
-        id
+        self.adj.push_vertex()
     }
 
     /// Grows the vertex set so that `v` is a valid id.
     pub fn ensure_vertex(&mut self, v: VertexId) {
-        if (v as usize) >= self.adj.len() {
-            self.adj.resize(v as usize + 1, Vec::new());
-        }
+        self.adj.ensure_vertex(v);
     }
 
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        self.adj[v as usize].len()
+        self.adj.len_of(v)
     }
 
     /// Neighbours of `v` in unspecified order.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.adj[v as usize]
+        self.adj.slice(v)
     }
 
     /// Iterator over all vertex ids.
     #[inline]
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        0..self.adj.len() as VertexId
+        0..self.adj.num_vertices() as VertexId
     }
 
     /// Iterator over every undirected edge, reported once with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
-            let u = u as VertexId;
-            nbrs.iter()
+        self.vertices().flat_map(move |u| {
+            self.adj
+                .slice(u)
+                .iter()
                 .copied()
                 .filter(move |&v| u < v)
                 .map(move |v| (u, v))
@@ -152,7 +154,8 @@ impl DynamicGraph {
 
     /// `true` iff `(u, v)` is an edge. Probes the smaller adjacency list.
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        if u as usize >= self.adj.len() || v as usize >= self.adj.len() {
+        let n = self.adj.num_vertices();
+        if u as usize >= n || v as usize >= n {
             return false;
         }
         let (probe, target) = if self.degree(u) <= self.degree(v) {
@@ -160,7 +163,7 @@ impl DynamicGraph {
         } else {
             (v, u)
         };
-        self.adj[probe as usize].contains(&target)
+        self.adj.slice(probe).contains(&target)
     }
 
     /// Inserts the undirected edge `(u, v)`.
@@ -171,7 +174,7 @@ impl DynamicGraph {
         if u == v {
             return Err(EdgeListError::SelfLoop(u));
         }
-        let n = self.adj.len() as VertexId;
+        let n = self.adj.num_vertices() as VertexId;
         if u >= n {
             return Err(EdgeListError::UnknownVertex(u));
         }
@@ -194,41 +197,62 @@ impl DynamicGraph {
     pub fn insert_edge_unchecked(&mut self, u: VertexId, v: VertexId) {
         debug_assert!(u != v);
         debug_assert!(!self.has_edge(u, v));
-        self.adj[u as usize].push(v);
-        self.adj[v as usize].push(u);
+        self.adj.push(u, v);
+        self.adj.push(v, u);
         self.m += 1;
     }
 
     /// Removes the undirected edge `(u, v)`; `Err` if it was not present.
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), EdgeListError> {
-        if u as usize >= self.adj.len() || v as usize >= self.adj.len() {
+        let n = self.adj.num_vertices();
+        if u as usize >= n || v as usize >= n {
             return Err(EdgeListError::Missing(u, v));
         }
-        let pos_u = self.adj[u as usize].iter().position(|&w| w == v);
-        let Some(pu) = pos_u else {
+        let Some(pu) = self.adj.position(u, v) else {
             return Err(EdgeListError::Missing(u, v));
         };
-        let pv = self.adj[v as usize]
-            .iter()
-            .position(|&w| w == u)
-            .expect("adjacency symmetric");
-        self.adj[u as usize].swap_remove(pu);
-        self.adj[v as usize].swap_remove(pv);
+        let pv = self.adj.position(v, u).expect("adjacency symmetric");
+        self.adj.swap_remove(u, pu);
+        self.adj.swap_remove(v, pv);
         self.m -= 1;
+        if self.adj.should_compact() {
+            self.adj.compact();
+        }
         Ok(())
+    }
+
+    /// Pre-sizes `v`'s adjacency slot for `additional` more neighbours,
+    /// so the upcoming [`insert_edge_unchecked`][Self::insert_edge_unchecked]
+    /// calls relocate at most once. Batch writers call this with per-vertex
+    /// degree deltas before applying an edge batch.
+    #[inline]
+    pub fn reserve_neighbors(&mut self, v: VertexId, additional: usize) {
+        self.adj.reserve(v, additional);
+    }
+
+    /// Rebuilds adjacency tight-packed in vertex order (CSR layout),
+    /// dropping relocation holes and restoring scan locality.
+    pub fn compact_adjacency(&mut self) {
+        self.adj.compact();
+    }
+
+    /// `(live half-edges, backing-buffer entries)` of the adjacency
+    /// arena — the difference is relocation holes (diagnostics).
+    pub fn adjacency_footprint(&self) -> (usize, usize) {
+        (self.adj.half_edges(), self.adj.backing_len())
     }
 
     /// Maximum degree over all vertices (0 for an empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
     /// Average degree `2m / n` (0 for an empty graph).
     pub fn avg_degree(&self) -> f64 {
-        if self.adj.is_empty() {
+        if self.is_empty() {
             0.0
         } else {
-            2.0 * self.m as f64 / self.adj.len() as f64
+            2.0 * self.m as f64 / self.num_vertices() as f64
         }
     }
 
@@ -248,6 +272,7 @@ impl DynamicGraph {
     /// Verifies internal consistency (symmetry, no loops, no duplicates,
     /// correct edge count). Intended for tests and debug assertions.
     pub fn check_consistency(&self) -> Result<(), String> {
+        self.adj.check()?;
         let mut half_edges = 0usize;
         for u in self.vertices() {
             let nbrs = self.neighbors(u);
@@ -257,13 +282,13 @@ impl DynamicGraph {
                 if v == u {
                     return Err(format!("self loop at {u}"));
                 }
-                if v as usize >= self.adj.len() {
+                if v as usize >= self.adj.num_vertices() {
                     return Err(format!("dangling neighbour {v} of {u}"));
                 }
                 if !seen.insert(v) {
                     return Err(format!("duplicate neighbour {v} of {u}"));
                 }
-                if !self.adj[v as usize].contains(&u) {
+                if !self.adj.slice(v).contains(&u) {
                     return Err(format!("asymmetric edge ({u}, {v})"));
                 }
             }

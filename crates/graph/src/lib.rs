@@ -7,9 +7,12 @@
 //!
 //! * vertices are dense `u32` ids (`VertexId`), so every per-vertex attribute
 //!   in the higher layers is a flat `Vec` indexed by vertex;
-//! * adjacency is a `Vec<Vec<VertexId>>` — `O(1)` amortised edge insertion,
-//!   `O(deg)` removal via `swap_remove`, cache-friendly neighbour scans
-//!   (the inner loops of both maintenance algorithms are neighbour scans);
+//! * adjacency is a flat [`arena::AdjArena`] — one contiguous backing
+//!   buffer with per-vertex slices, `O(1)` amortised edge insertion,
+//!   `O(deg)` removal via `swap_remove`, CSR-style compaction on demand,
+//!   and cache-friendly neighbour scans (the inner loops of both
+//!   maintenance algorithms are neighbour scans) with zero per-vertex
+//!   heap allocations;
 //! * parallel edges and self loops are rejected (k-core theory assumes a
 //!   simple graph), with an `O(min(deg(u), deg(v)))` membership probe.
 //!
@@ -23,6 +26,7 @@
 //! * [`fixtures`] — the running-example graph of the paper (Fig 3) and a
 //!   handful of tiny graphs shared by unit tests across the workspace.
 
+pub mod arena;
 pub mod csr;
 pub mod fixtures;
 pub mod graph;
@@ -30,6 +34,7 @@ pub mod hash;
 pub mod io;
 pub mod stats;
 
+pub use arena::AdjArena;
 pub use csr::CsrGraph;
 pub use graph::{edge_key, key_edge, DynamicGraph, EdgeListError, VertexId, NO_VERTEX};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};

@@ -1,0 +1,328 @@
+//! The batched update engine.
+//!
+//! Real update traffic (streaming graphs, temporal edge logs, journal
+//! replay) arrives in batches, and a batch admits optimisations a
+//! single-edge API cannot express:
+//!
+//! * **adjacency pre-reservation** — per-vertex degree deltas are counted
+//!   up front and every touched [`AdjArena`](kcore_graph::AdjArena) slot
+//!   is sized once, so the steady-state per-edge path performs zero heap
+//!   allocation and zero slot relocation;
+//! * **level-sorted application** — edges are grouped by the (lower)
+//!   core level of their endpoints, so consecutive updates touch the
+//!   same `O_k`/`A_k` structures while they are cache-hot;
+//! * **rank caching** — between promotion/dismissal passes the k-order
+//!   is frozen, so the `O(log n)` `A_k` rank walk behind every
+//!   same-level root test is computed once per vertex per frozen window
+//!   ([`OrderCore::cached_rank`]) instead of once per edge — hubs in
+//!   power-law batches hit this constantly;
+//! * **Lemma 5.2 short-circuit** — no-op edges (the vast majority, see
+//!   Fig 10b of the paper) are counted and dropped before any order
+//!   structure is touched;
+//! * **shared scratch** — the min-heap `B`, candidate set `VC`, and the
+//!   epoch-stamped scratch arrays live on the engine and are reused
+//!   across the whole batch (no per-edge setup beyond an epoch bump).
+//!
+//! Unlike the single-edge API, the batch entry points **skip** invalid
+//! entries (self loops, duplicates — also within the batch —, missing
+//! edges, out-of-range endpoints) instead of erroring, counting them in
+//! [`UpdateStats::skipped`]: a stream replayer wants throughput, not a
+//! transaction abort on the first dirty record. Use
+//! [`OrderCore::apply_batch`] for all-or-nothing semantics.
+//!
+//! Core numbers of the final graph are order-independent, so the
+//! level-sorted application order changes no observable core value —
+//! property-tested in `tests/proptest_maint.rs` against both
+//! edge-at-a-time insertion and a from-scratch decomposition.
+
+use crate::order_core::OrderCore;
+use kcore_graph::VertexId;
+use kcore_order::OrderSeq;
+use kcore_traversal::UpdateStats;
+
+impl<S: OrderSeq> OrderCore<S> {
+    /// Inserts a batch of edges, updating core numbers and the k-order.
+    /// Invalid entries (self loops, duplicate edges — including
+    /// duplicates within `edges` —, unknown endpoints) are skipped and
+    /// counted in [`UpdateStats::skipped`]. Returns aggregate stats for
+    /// the whole batch.
+    ///
+    /// Works in two phases. The **apply phase** admits every edge into
+    /// the (pre-reserved) adjacency arena, updates `mcd`, and bumps the
+    /// root's `deg⁺` — all against the *frozen* k-order, so every
+    /// same-level root test is answered by the rank cache. Roots left
+    /// violating Lemma 5.1 (`deg⁺ > core`) are collected as dirty. The
+    /// **pass phase** then runs one multi-seed promotion pass per dirty
+    /// level, ascending, instead of one pass per edge: seeds at the
+    /// lowest dirty level are resolved together, and promoted vertices
+    /// that still violate at the next level (a batch can raise a core by
+    /// more than one) cascade upward until Lemma 5.1 holds everywhere.
+    pub fn insert_edges(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateStats {
+        let mut stats = UpdateStats::default();
+        if edges.is_empty() {
+            return stats;
+        }
+        let n = self.graph.num_vertices() as VertexId;
+
+        // Range/self-loop filter.
+        let mut batch: Vec<(VertexId, VertexId)> = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            if u == v || u >= n || v >= n {
+                stats.skipped += 1;
+                continue;
+            }
+            batch.push((u, v));
+        }
+
+        // Pre-reserve adjacency slots from the batch's per-vertex degree
+        // deltas (duplicates overcount slightly — harmless headroom).
+        let mut endpoints: Vec<VertexId> = Vec::with_capacity(batch.len() * 2);
+        for &(u, v) in &batch {
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+        endpoints.sort_unstable();
+        let mut i = 0;
+        while i < endpoints.len() {
+            let v = endpoints[i];
+            let mut j = i + 1;
+            while j < endpoints.len() && endpoints[j] == v {
+                j += 1;
+            }
+            self.graph.reserve_neighbors(v, j - i);
+            i = j;
+        }
+
+        // ---- apply phase (k-order frozen; rank cache fully valid) ----
+        let dirty_epoch = self.bump_epoch();
+        let mut dirty: Vec<VertexId> = Vec::new();
+        for &(u, v) in &batch {
+            if self.graph.has_edge(u, v) {
+                stats.skipped += 1;
+                continue;
+            }
+            self.graph.insert_edge_unchecked(u, v);
+
+            // mcd reflects the new edge immediately (old core numbers).
+            let (cu, cv) = (self.core[u as usize], self.core[v as usize]);
+            if cv >= cu {
+                self.mcd[u as usize] += 1;
+            }
+            if cu >= cv {
+                self.mcd[v as usize] += 1;
+            }
+
+            // Root = earlier endpoint in k-order; same-level ties resolve
+            // through the rank cache instead of a fresh A_k walk.
+            let root = if cu < cv {
+                u
+            } else if cv < cu {
+                v
+            } else if self.cached_rank(u) < self.cached_rank(v) {
+                u
+            } else {
+                v
+            };
+            let ri = root as usize;
+            self.deg_plus[ri] += 1;
+            if self.deg_plus[ri] <= self.core[ri] {
+                // Lemma 5.2: the k-order absorbs this edge unchanged.
+                stats.noop += 1;
+            } else if self.touch_mark[ri] != dirty_epoch {
+                self.touch_mark[ri] = dirty_epoch;
+                dirty.push(root);
+            }
+        }
+
+        // ---- pass phase: one multi-seed pass per dirty level, ascending ----
+        let mut seeds: Vec<VertexId> = Vec::new();
+        while !dirty.is_empty() {
+            // Drop roots a previous pass already resolved (demoted back
+            // under the Lemma 5.1 budget, or promoted past the violation).
+            dirty.retain(|&v| self.deg_plus[v as usize] > self.core[v as usize]);
+            let Some(k) = dirty.iter().map(|&v| self.core[v as usize]).min() else {
+                break;
+            };
+            seeds.clear();
+            seeds.extend(
+                dirty
+                    .iter()
+                    .copied()
+                    .filter(|&v| self.core[v as usize] == k),
+            );
+            dirty.retain(|&v| self.core[v as usize] != k);
+            let seed_batch = std::mem::take(&mut seeds);
+            self.promote_pass(&seed_batch, k, &mut stats);
+            seeds = seed_batch;
+            // A multi-seed pass can promote vertices that still violate
+            // at level k + 1: cascade them.
+            for i in 0..self.vstar.len() {
+                let w = self.vstar[i];
+                if self.deg_plus[w as usize] > self.core[w as usize] {
+                    dirty.push(w);
+                }
+            }
+        }
+        stats
+    }
+
+    /// Removes a batch of edges, updating core numbers and the k-order
+    /// after each admitted edge. Invalid entries (self loops, absent
+    /// edges — including edges already removed earlier in the batch —,
+    /// unknown endpoints) are skipped and counted in
+    /// [`UpdateStats::skipped`]. Returns aggregate stats.
+    pub fn remove_edges(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateStats {
+        let mut stats = UpdateStats::default();
+        if edges.is_empty() {
+            return stats;
+        }
+        let n = self.graph.num_vertices() as VertexId;
+
+        let mut batch: Vec<(u32, VertexId, VertexId)> = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            if u == v || u >= n || v >= n {
+                stats.skipped += 1;
+                continue;
+            }
+            let k = self.core[u as usize].min(self.core[v as usize]);
+            batch.push((k, u, v));
+        }
+        // Dismissals cascade downward; processing high levels first keeps
+        // each level's structures hot while they are still being hit.
+        batch.sort_by_key(|&(k, _, _)| std::cmp::Reverse(k));
+
+        for &(_, u, v) in &batch {
+            if !self.graph.has_edge(u, v) {
+                stats.skipped += 1;
+                continue;
+            }
+            self.graph.remove_edge(u, v).expect("edge present");
+
+            let (cu, cv) = (self.core[u as usize], self.core[v as usize]);
+            debug_assert!(cu >= 1 && cv >= 1, "an incident edge implies core >= 1");
+            if cu <= cv {
+                self.mcd[u as usize] -= 1;
+            }
+            if cv <= cu {
+                self.mcd[v as usize] -= 1;
+            }
+            let earlier = if cu < cv {
+                u
+            } else if cv < cu {
+                v
+            } else if self.cached_rank(u) < self.cached_rank(v) {
+                u
+            } else {
+                v
+            };
+            self.deg_plus[earlier as usize] -= 1;
+
+            self.dismiss_pass(u, v, cu.min(cv), &mut stats);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TreapOrderCore;
+    use kcore_decomp::core_decomposition;
+    use kcore_graph::fixtures;
+
+    #[test]
+    fn batch_insert_matches_sequential() {
+        let g = fixtures::path(12);
+        let edges: Vec<(u32, u32)> = vec![(0, 11), (2, 9), (3, 8), (1, 10), (4, 7)];
+        let mut batched = TreapOrderCore::new(g.clone(), 1);
+        let stats = batched.insert_edges(&edges);
+        assert_eq!(stats.skipped, 0);
+        let mut seq = TreapOrderCore::new(g, 1);
+        for &(u, v) in &edges {
+            seq.insert_edge(u, v).unwrap();
+        }
+        assert_eq!(batched.cores(), seq.cores());
+        batched.validate();
+    }
+
+    #[test]
+    fn batch_insert_skips_invalid_entries() {
+        let mut oc = TreapOrderCore::new(fixtures::triangle(), 1);
+        // self loop, duplicate of an existing edge, in-batch duplicate,
+        // out-of-range endpoint — all skipped, the one good edge lands.
+        let stats = oc.insert_edges(&[(0, 0), (0, 1), (99, 1), (2, 2)]);
+        assert_eq!(stats.skipped, 4);
+        let before = oc.graph().num_edges();
+        let stats = oc.insert_edges(&[(1, 2), (2, 1)]);
+        // (1,2) already exists; (2,1) is its duplicate too
+        assert_eq!(stats.skipped, 2);
+        assert_eq!(oc.graph().num_edges(), before);
+        oc.validate();
+    }
+
+    #[test]
+    fn batch_insert_promotes_like_decomposition() {
+        // Close a long cycle and add chords: multiple promotions in one
+        // batch, compared against a from-scratch decomposition.
+        let g = fixtures::path(30);
+        let mut oc = TreapOrderCore::new(g, 7);
+        let mut batch = vec![(0u32, 29u32)];
+        for i in 0..28 {
+            batch.push((i, i + 2));
+        }
+        let stats = oc.insert_edges(&batch);
+        assert_eq!(stats.skipped, 0);
+        assert!(stats.changed > 0);
+        assert_eq!(oc.cores(), &core_decomposition(oc.graph())[..]);
+        oc.validate();
+    }
+
+    #[test]
+    fn batch_remove_matches_sequential() {
+        let mut g = fixtures::clique(8);
+        for i in 0..7u32 {
+            let _ = g.insert_edge(i, i + 1); // already present; no-ops
+        }
+        let edges: Vec<(u32, u32)> = vec![(0, 1), (2, 3), (4, 5), (0, 2), (1, 3)];
+        let mut batched = TreapOrderCore::new(g.clone(), 3);
+        let stats = batched.remove_edges(&edges);
+        assert_eq!(stats.skipped, 0);
+        let mut seq = TreapOrderCore::new(g, 3);
+        for &(u, v) in &edges {
+            seq.remove_edge(u, v).unwrap();
+        }
+        assert_eq!(batched.cores(), seq.cores());
+        batched.validate();
+    }
+
+    #[test]
+    fn batch_remove_skips_invalid_entries() {
+        let mut oc = TreapOrderCore::new(fixtures::clique(4), 1);
+        let stats = oc.remove_edges(&[(0, 1), (0, 1), (3, 3), (0, 99)]);
+        // second (0,1) is already gone, (3,3) self loop, (0,99) range
+        assert_eq!(stats.skipped, 3);
+        assert_eq!(oc.graph().num_edges(), 5);
+        oc.validate();
+    }
+
+    #[test]
+    fn interleaved_batches_stay_valid() {
+        let mut oc = TreapOrderCore::new(fixtures::two_cliques_bridge(), 5);
+        let inserts: Vec<(u32, u32)> = vec![(0, 5), (1, 6), (2, 7), (3, 4)];
+        oc.insert_edges(&inserts);
+        oc.validate();
+        oc.remove_edges(&inserts);
+        oc.validate();
+        let reference = core_decomposition(oc.graph());
+        assert_eq!(oc.cores(), &reference[..]);
+    }
+
+    #[test]
+    fn empty_batches_are_free() {
+        let mut oc = TreapOrderCore::new(fixtures::triangle(), 1);
+        let stats = oc.insert_edges(&[]);
+        assert_eq!(stats, Default::default());
+        let stats = oc.remove_edges(&[]);
+        assert_eq!(stats, Default::default());
+        oc.validate();
+    }
+}

@@ -31,7 +31,6 @@ impl<S: OrderSeq> OrderCore<S> {
     /// Inserts the edge `(u, v)`, updating core numbers and the k-order.
     /// Errors (with no state change) on self loops, duplicates, and
     /// unknown endpoints.
-    #[allow(clippy::needless_range_loop)]
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
         let n = self.graph.num_vertices() as VertexId;
         if u == v {
@@ -68,20 +67,50 @@ impl<S: OrderSeq> OrderCore<S> {
         } else {
             v
         };
+        self.insert_post_root(root, &mut stats);
+        Ok(stats)
+    }
+
+    /// Shared tail of edge insertion once the root (earlier endpoint) is
+    /// known: bump its `deg⁺`, apply the Lemma 5.2 short-circuit, and run
+    /// the promotion pass only when the k-order actually broke.
+    pub(crate) fn insert_post_root(&mut self, root: VertexId, stats: &mut UpdateStats) {
         let k = self.core[root as usize];
         self.deg_plus[root as usize] += 1;
         if self.deg_plus[root as usize] <= k {
             // Lemma 5.2: O_K is still a valid k-order; nothing changes.
-            return Ok(stats);
+            stats.noop += 1;
+            return;
         }
+        self.promote_pass(&[root], k, stats);
+    }
 
+    /// `OrderInsert`'s pass + ending phase (Algorithms 2 and 3): finds
+    /// `V*` at level `k` and repairs the k-order. `seeds` are the
+    /// Lemma 5.1 violators (`deg⁺ > k`) triggering the pass — one root
+    /// for a single-edge insert, every violating root of a level for the
+    /// batched engine. The pass machinery is seed-count agnostic: the
+    /// heap `B` processes violators in pass-start rank order either way.
+    ///
+    /// With multiple seeds, promoted vertices can still violate Lemma 5.1
+    /// at level `k + 1` (a batch may raise a core by more than one);
+    /// callers with multi-edge batches must re-check the promoted set
+    /// (`self.vstar`) and cascade upward.
+    #[allow(clippy::needless_range_loop)]
+    pub(crate) fn promote_pass(&mut self, seeds: &[VertexId], k: u32, stats: &mut UpdateStats) {
         self.ensure_level(k + 1);
         let epoch = self.bump_epoch();
         self.vc.clear();
         self.demotions.clear();
         let mut heap = std::mem::take(&mut self.heap);
         heap.clear();
-        heap.push(self.seqs[k as usize].order_key(self.node[root as usize]), root);
+        for i in 0..seeds.len() {
+            let root = seeds[i];
+            debug_assert_eq!(self.core[root as usize], k);
+            debug_assert!(self.deg_plus[root as usize] > k);
+            let rank = self.cached_rank(root);
+            heap.push(rank, root);
+        }
 
         // ---- the pass (core phase of Algorithm 2) ----
         loop {
@@ -99,15 +128,21 @@ impl<S: OrderSeq> OrderCore<S> {
                 self.vc_mark[wi] = epoch;
                 self.vc.push(w);
                 // Grant candidate degree to later same-core neighbours.
+                // All order tests during the pass compare pass-start
+                // positions (A_K is frozen until the ending phase), which
+                // is exactly what the rank cache holds — so a neighbour
+                // touched by several candidates pays its treap walk once.
+                let rank_w = self.cached_rank(w);
                 for i in 0..self.graph.degree(w) {
                     let z = self.graph.neighbors(w)[i];
                     let zi = z as usize;
-                    if self.core[zi] == k
-                        && self.seqs[k as usize].precedes(self.node[wi], self.node[zi])
-                    {
-                        let new = self.star_add(z, epoch, 1);
-                        if new == 1 {
-                            heap.push(self.seqs[k as usize].order_key(self.node[zi]), z);
+                    if self.core[zi] == k {
+                        let rank_z = self.cached_rank(z);
+                        if rank_w < rank_z {
+                            let new = self.star_add(z, epoch, 1);
+                            if new == 1 {
+                                heap.push(rank_z, z);
+                            }
                         }
                     }
                 }
@@ -128,57 +163,56 @@ impl<S: OrderSeq> OrderCore<S> {
         // Surviving candidates are V*.
         let mut vstar = std::mem::take(&mut self.vstar);
         vstar.clear();
-        vstar.extend(self.vc.iter().copied().filter(|&w| self.vc_mark[w as usize] == epoch));
-        stats.changed = vstar.len();
+        vstar.extend(
+            self.vc
+                .iter()
+                .copied()
+                .filter(|&w| self.vc_mark[w as usize] == epoch),
+        );
+        stats.changed += vstar.len();
 
         for (i, &w) in vstar.iter().enumerate() {
             self.core[w as usize] = k + 1;
             self.vc_pos[w as usize] = i as u32;
         }
 
+        // One scan per promoted vertex repairs both deg⁺ and mcd.
+        //
         // deg⁺ of promoted vertices: later V* members (V* keeps its
         // relative order at the *front* of O_{K+1}), everything already in
-        // O_{K+1}, and higher levels. (Index loops here and below sidestep
-        // holding &self borrows across &mut accesses.)
-        for (i, &w) in vstar.iter().enumerate() {
-            let mut dp = 0u32;
-            for j in 0..self.graph.degree(w) {
-                let z = self.graph.neighbors(w)[j];
-                let zi = z as usize;
-                let cz = self.core[zi];
-                if cz > k + 1 {
-                    dp += 1;
-                } else if cz == k + 1 {
-                    if self.vc_mark[zi] == epoch {
-                        if (self.vc_pos[zi] as usize) > i {
-                            dp += 1;
-                        }
-                    } else {
-                        dp += 1; // original O_{K+1} member: after all of V*
-                    }
-                }
-            }
-            self.deg_plus[w as usize] = dp;
-            stats.refreshed += 1;
-        }
-
-        // mcd repair: promoted vertices are recomputed; their neighbours
-        // already at level K+1 gain one.
+        // O_{K+1}, and higher levels. mcd of promoted vertices counts
+        // neighbours with core > k; their neighbours already at level K+1
+        // gain one mcd. (Index loops sidestep holding &self borrows
+        // across &mut accesses; the two repairs are write-disjoint, so
+        // fusing the scans is safe.)
         for idx in 0..vstar.len() {
             let w = vstar[idx];
+            let mut dp = 0u32;
             let mut m = 0u32;
             for j in 0..self.graph.degree(w) {
                 let z = self.graph.neighbors(w)[j];
                 let zi = z as usize;
-                if self.core[zi] > k {
+                let cz = self.core[zi];
+                if cz > k {
                     m += 1;
                 }
-                if self.core[zi] == k + 1 && self.vc_mark[zi] != epoch {
-                    self.mcd[zi] += 1;
-                    stats.refreshed += 1;
+                if cz > k + 1 {
+                    dp += 1;
+                } else if cz == k + 1 {
+                    if self.vc_mark[zi] == epoch {
+                        if (self.vc_pos[zi] as usize) > idx {
+                            dp += 1;
+                        }
+                    } else {
+                        dp += 1; // original O_{K+1} member: after all of V*
+                        self.mcd[zi] += 1;
+                        stats.refreshed += 1;
+                    }
                 }
             }
+            self.deg_plus[w as usize] = dp;
             self.mcd[w as usize] = m;
+            stats.refreshed += 1;
         }
 
         // A_K repairs deferred from the pass: first the Observation 6.1
@@ -187,9 +221,7 @@ impl<S: OrderSeq> OrderCore<S> {
         for idx in 0..self.demotions.len() {
             let (d, pred) = self.demotions[idx];
             self.seqs[k as usize].remove(self.node[d as usize]);
-            self.node[d as usize] = self
-                .seqs[k as usize]
-                .insert_after(self.node[pred as usize], d);
+            self.node[d as usize] = self.seqs[k as usize].insert_after(self.node[pred as usize], d);
         }
         for &w in vstar.iter() {
             self.seqs[k as usize].remove(self.node[w as usize]);
@@ -198,9 +230,14 @@ impl<S: OrderSeq> OrderCore<S> {
             self.node[w as usize] = self.seqs[k as usize + 1].insert_first(w);
             self.lists.push_front(k + 1, w);
         }
+        if !self.demotions.is_empty() || !vstar.is_empty() {
+            self.bump_seq_version(k);
+        }
+        if !vstar.is_empty() {
+            self.bump_seq_version(k + 1);
+        }
 
         self.vstar = vstar;
-        Ok(stats)
     }
 
     /// Algorithm 3: the frontier vertex `w` has just been ruled out of
@@ -209,7 +246,6 @@ impl<S: OrderSeq> OrderCore<S> {
     /// the current frontier, preserving queue order.
     fn remove_candidates(&mut self, w: VertexId, k: u32, epoch: u32) {
         self.queue.clear();
-        let wi = w as usize;
         // w will stay at level K: candidates counted it in deg⁺.
         for i in 0..self.graph.degree(w) {
             let z = self.graph.neighbors(w)[i];
@@ -222,6 +258,9 @@ impl<S: OrderSeq> OrderCore<S> {
                 }
             }
         }
+        // Order tests below compare pass-start positions (A_K frozen
+        // during the pass), so they go through the rank cache.
+        let rank_w = self.cached_rank(w);
         let mut cursor = w;
         let mut qi = 0;
         while qi < self.queue.len() {
@@ -238,13 +277,15 @@ impl<S: OrderSeq> OrderCore<S> {
             self.demotions.push((d, cursor));
             cursor = d;
 
+            let rank_d = self.cached_rank(d);
             for i in 0..self.graph.degree(d) {
                 let z = self.graph.neighbors(d)[i];
                 let zi = z as usize;
                 if self.core[zi] != k {
                     continue;
                 }
-                if self.seqs[k as usize].precedes(self.node[wi], self.node[zi]) {
+                let rank_z = self.cached_rank(z);
+                if rank_w < rank_z {
                     // Unvisited vertex after the frontier: loses one
                     // candidate-granted degree (heap entry goes stale
                     // lazily if this was its last).
@@ -254,16 +295,12 @@ impl<S: OrderSeq> OrderCore<S> {
                     // deg* (d was after z? no — through position) …
                     // d granted z a deg* if d preceded z, else z counted d
                     // in deg⁺.
-                    if self
-                        .seqs[k as usize]
-                        .precedes(self.node[di], self.node[zi])
-                    {
+                    if rank_d < rank_z {
                         self.star_add(z, epoch, -1);
                     } else {
                         self.deg_plus[zi] -= 1;
                     }
-                    if self.deg_plus[zi] + self.star(z, epoch) <= k
-                        && self.queue_mark[zi] != epoch
+                    if self.deg_plus[zi] + self.star(z, epoch) <= k && self.queue_mark[zi] != epoch
                     {
                         self.queue_mark[zi] = epoch;
                         self.queue.push(z);

@@ -29,6 +29,7 @@
 //! [`maintainer::CoreMaintainer`] unifies this engine with the traversal
 //! baseline and a naive recompute baseline for the benchmark harness.
 
+pub mod batch;
 pub mod journal;
 pub mod maintainer;
 pub mod order_core;

@@ -17,6 +17,35 @@ pub trait CoreMaintainer {
     /// Removes an edge; errors leave the state unchanged.
     fn remove(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError>;
 
+    /// Inserts a batch of edges, skipping invalid entries (counted in
+    /// [`UpdateStats::skipped`]). The default loops over
+    /// [`CoreMaintainer::insert`]; engines with a genuine batch path
+    /// override it.
+    fn insert_batch(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateStats {
+        let mut stats = UpdateStats::default();
+        for &(u, v) in edges {
+            match self.insert(u, v) {
+                Ok(s) => stats.absorb(s),
+                Err(_) => stats.skipped += 1,
+            }
+        }
+        stats
+    }
+
+    /// Removes a batch of edges, skipping invalid entries (counted in
+    /// [`UpdateStats::skipped`]). Default loops over
+    /// [`CoreMaintainer::remove`].
+    fn remove_batch(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateStats {
+        let mut stats = UpdateStats::default();
+        for &(u, v) in edges {
+            match self.remove(u, v) {
+                Ok(s) => stats.absorb(s),
+                Err(_) => stats.skipped += 1,
+            }
+        }
+        stats
+    }
+
     /// Core number of one vertex.
     fn core_of(&self, v: VertexId) -> u32;
 
@@ -37,6 +66,14 @@ impl<S: OrderSeq> CoreMaintainer for OrderCore<S> {
 
     fn remove(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
         self.remove_edge(u, v)
+    }
+
+    fn insert_batch(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateStats {
+        self.insert_edges(edges)
+    }
+
+    fn remove_batch(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateStats {
+        self.remove_edges(edges)
     }
 
     fn core_of(&self, v: VertexId) -> u32 {
@@ -134,7 +171,7 @@ impl RecomputeCore {
         UpdateStats {
             visited: self.graph.num_vertices(),
             changed,
-            refreshed: 0,
+            ..UpdateStats::default()
         }
     }
 }

@@ -22,6 +22,16 @@ pub struct OrderCore<S: OrderSeq = OrderTreap> {
     /// Handle of each vertex's node inside `seqs[core[v]]`.
     pub(crate) node: Vec<u32>,
     pub(crate) seed: u64,
+    /// Structural version of each `A_k`, bumped whenever `seqs[k]`
+    /// mutates. Backs the batch-scoped rank cache: a cached `order_key`
+    /// is valid exactly while its level's version is unchanged.
+    pub(crate) seq_version: Vec<u64>,
+    /// Cached `order_key` per vertex (see [`OrderCore::cached_rank`]).
+    pub(crate) rank_cache: Vec<u64>,
+    /// `seq_version` value at cache time (0 = never cached).
+    pub(crate) rank_stamp: Vec<u64>,
+    /// Core level at cache time.
+    pub(crate) rank_level: Vec<u32>,
 
     // ---- per-operation scratch, epoch-stamped ----
     pub(crate) epoch: u32,
@@ -70,6 +80,7 @@ impl<S: OrderSeq> OrderCore<S> {
             node[v as usize] = seqs[k as usize].insert_last(v);
         }
         let mcd = compute_mcd(&graph, &ko.core);
+        let num_levels = seqs.len();
         OrderCore {
             graph,
             core: ko.core,
@@ -79,6 +90,10 @@ impl<S: OrderSeq> OrderCore<S> {
             seqs,
             node,
             seed,
+            seq_version: vec![1; num_levels],
+            rank_cache: vec![0; n],
+            rank_stamp: vec![0; n],
+            rank_level: vec![0; n],
             epoch: 0,
             deg_star: vec![0; n],
             star_mark: vec![0; n],
@@ -166,6 +181,7 @@ impl<S: OrderSeq> OrderCore<S> {
         self.ensure_level(0);
         self.lists.push_back(0, v);
         let h = self.seqs[0].insert_last(v);
+        self.bump_seq_version(0);
         self.node.push(h);
         self.deg_star.push(0);
         self.star_mark.push(0);
@@ -174,6 +190,9 @@ impl<S: OrderSeq> OrderCore<S> {
         self.vc_pos.push(0);
         self.cd_work.push(0);
         self.touch_mark.push(0);
+        self.rank_cache.push(0);
+        self.rank_stamp.push(0);
+        self.rank_level.push(0);
         v
     }
 
@@ -187,6 +206,7 @@ impl<S: OrderSeq> OrderCore<S> {
         debug_assert_eq!(self.core[v as usize], 0);
         self.lists.remove(v);
         self.seqs[0].remove(self.node[v as usize]);
+        self.bump_seq_version(0);
         self.node[v as usize] = NONE;
         true
     }
@@ -196,9 +216,38 @@ impl<S: OrderSeq> OrderCore<S> {
         self.lists.ensure_list(k);
         while self.seqs.len() <= k as usize {
             let idx = self.seqs.len() as u64;
-            self.seqs
-                .push(S::with_seed(self.seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            self.seqs.push(S::with_seed(
+                self.seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ));
+            self.seq_version.push(1);
         }
+    }
+
+    /// Marks `seqs[k]` as structurally changed, invalidating every rank
+    /// cached against it.
+    #[inline]
+    pub(crate) fn bump_seq_version(&mut self, k: u32) {
+        self.seq_version[k as usize] += 1;
+    }
+
+    /// `order_key` of `v` inside its level's `A_k`, cached until that
+    /// level next mutates. The batch entry points lean on this: between
+    /// promotion/dismissal passes the k-order is frozen, so a hub vertex
+    /// that appears in many batch edges pays the `O(log n)` treap walk
+    /// once instead of once per edge.
+    #[inline]
+    pub(crate) fn cached_rank(&mut self, v: VertexId) -> u64 {
+        let vi = v as usize;
+        let k = self.core[vi];
+        let ver = self.seq_version[k as usize];
+        if self.rank_level[vi] == k && self.rank_stamp[vi] == ver {
+            return self.rank_cache[vi];
+        }
+        let r = self.seqs[k as usize].order_key(self.node[vi]);
+        self.rank_cache[vi] = r;
+        self.rank_level[vi] = k;
+        self.rank_stamp[vi] = ver;
+        r
     }
 
     #[inline]

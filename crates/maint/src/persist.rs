@@ -178,6 +178,7 @@ impl<S: OrderSeq> OrderCore<S> {
             lists.push_back(k, v);
             node[v as usize] = seqs[k as usize].insert_last(v);
         }
+        let num_levels = seqs.len();
         Ok(OrderCore {
             graph,
             core,
@@ -187,6 +188,10 @@ impl<S: OrderSeq> OrderCore<S> {
             seqs,
             node,
             seed,
+            seq_version: vec![1; num_levels],
+            rank_cache: vec![0; n],
+            rank_stamp: vec![0; n],
+            rank_level: vec![0; n],
             epoch: 0,
             deg_star: vec![0; n],
             star_mark: vec![0; n],

@@ -15,7 +15,6 @@ use kcore_traversal::UpdateStats;
 impl<S: OrderSeq> OrderCore<S> {
     /// Removes the edge `(u, v)`, updating core numbers and the k-order.
     /// Errors (with no state change) when the edge is absent.
-    #[allow(clippy::needless_range_loop)]
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
         if !self.graph.has_edge(u, v) {
             return Err(EdgeListError::Missing(u, v));
@@ -44,8 +43,23 @@ impl<S: OrderSeq> OrderCore<S> {
         };
         self.deg_plus[earlier as usize] -= 1;
 
-        let k = cu.min(cv);
+        self.dismiss_pass(u, v, cu.min(cv), &mut stats);
+        Ok(stats)
+    }
 
+    /// `OrderRemoval`'s dismissal pass (Algorithm 4): finds `V*` from the
+    /// removed edge `(u, v)` at level `k` (mcd-seeded peeling) and moves
+    /// the dismissed vertices to the end of `O_{K−1}`, repairing `deg⁺`
+    /// and `mcd` around them. The graph mutation, mcd decrement, and the
+    /// earlier endpoint's `deg⁺` decrement have already happened.
+    #[allow(clippy::needless_range_loop)]
+    pub(crate) fn dismiss_pass(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        k: u32,
+        stats: &mut UpdateStats,
+    ) {
         // ---- find V* (traversal-removal routine, mcd-seeded) ----
         let epoch = self.bump_epoch();
         let mut vstar = std::mem::take(&mut self.vstar);
@@ -93,11 +107,12 @@ impl<S: OrderSeq> OrderCore<S> {
                 }
             }
         }
-        stats.visited = touched;
-        stats.changed = vstar.len();
+        stats.visited += touched;
+        stats.changed += vstar.len();
         if vstar.is_empty() {
+            stats.noop += 1;
             self.vstar = vstar;
-            return Ok(stats);
+            return;
         }
 
         // ---- maintain the k-order (Algorithm 4 lines 6–14) ----
@@ -116,11 +131,7 @@ impl<S: OrderSeq> OrderCore<S> {
                 let cz = self.core[zi];
                 // Level-K stayers that preceded w lose w from their deg⁺
                 // (w moves to O_{K−1}, i.e. in front of them).
-                if cz == k
-                    && self
-                        .seqs[k as usize]
-                        .precedes(self.node[zi], self.node[wi])
-                {
+                if cz == k && self.seqs[k as usize].precedes(self.node[zi], self.node[wi]) {
                     self.deg_plus[zi] -= 1;
                     stats.refreshed += 1;
                 }
@@ -158,7 +169,8 @@ impl<S: OrderSeq> OrderCore<S> {
             self.mcd[w as usize] = m;
         }
 
+        self.bump_seq_version(k);
+        self.bump_seq_version(k - 1);
         self.vstar = vstar;
-        Ok(stats)
     }
 }

@@ -51,7 +51,10 @@ fn insert_between_isolated() {
 #[test]
 fn insert_errors_leave_state_unchanged() {
     let mut oc = treap_core(&fixtures::triangle());
-    assert!(matches!(oc.insert_edge(0, 0), Err(EdgeListError::SelfLoop(0))));
+    assert!(matches!(
+        oc.insert_edge(0, 0),
+        Err(EdgeListError::SelfLoop(0))
+    ));
     assert!(matches!(
         oc.insert_edge(0, 1),
         Err(EdgeListError::Duplicate(0, 1))

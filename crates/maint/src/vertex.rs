@@ -6,6 +6,7 @@
 //! large that incremental maintenance would lose to the `O(m + n)`
 //! decomposition.
 
+use crate::journal::GraphEvent;
 use crate::order_core::OrderCore;
 use kcore_decomp::Heuristic;
 use kcore_graph::{EdgeListError, VertexId};
@@ -105,9 +106,7 @@ impl<S: OrderSeq> OrderCore<S> {
             for &op in ops {
                 match op {
                     BatchOp::Insert(u, v) => self.graph.insert_edge_unchecked(u, v),
-                    BatchOp::Remove(u, v) => {
-                        self.graph.remove_edge(u, v).expect("validated above")
-                    }
+                    BatchOp::Remove(u, v) => self.graph.remove_edge(u, v).expect("validated above"),
                 }
             }
             self.rebuild();
@@ -119,16 +118,20 @@ impl<S: OrderSeq> OrderCore<S> {
             Ok(UpdateStats {
                 visited: self.graph.num_vertices(),
                 changed,
-                refreshed: 0,
+                ..UpdateStats::default()
             })
         } else {
-            let mut total = UpdateStats::default();
-            for &op in ops {
-                match op {
-                    BatchOp::Insert(u, v) => total.absorb(self.insert_edge(u, v)?),
-                    BatchOp::Remove(u, v) => total.absorb(self.remove_edge(u, v)?),
-                }
-            }
+            // Incremental path: run the ops through the batch engine
+            // (pre-reservation, level sort, rank cache), reusing the
+            // journal replayer's grouping of consecutive same-kind runs.
+            // Everything was validated above, so the batch entry points'
+            // skip-counting never triggers.
+            let events = ops.iter().map(|&op| match op {
+                BatchOp::Insert(u, v) => GraphEvent::EdgeInserted(u, v),
+                BatchOp::Remove(u, v) => GraphEvent::EdgeRemoved(u, v),
+            });
+            let total = crate::journal::replay_batched(self, events, ops.len());
+            debug_assert_eq!(total.skipped, 0, "apply_batch pre-validated every op");
             Ok(total)
         }
     }

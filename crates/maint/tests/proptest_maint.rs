@@ -96,6 +96,67 @@ proptest! {
         }
     }
 
+    /// The batched insert entry point equals (a) edge-at-a-time insertion
+    /// and (b) a from-scratch decomposition of the final graph — for
+    /// batches salted with self loops, duplicates (of existing edges and
+    /// within the batch), and out-of-range endpoints, which the batch API
+    /// skips and the sequential loop must therefore also ignore.
+    #[test]
+    fn insert_edges_equals_sequential_and_decomposition(
+        g in arb_graph(16, 40),
+        raw in prop::collection::vec((0u32..20, 0u32..20), 1..40),
+        seed in any::<u64>(),
+    ) {
+        // Out-of-range ids (16..20) and self loops stay in the batch on
+        // purpose: insert_edges must skip them.
+        let batch: Vec<(u32, u32)> = raw;
+
+        let mut batched = TreapOrderCore::new(g.clone(), seed);
+        let stats = batched.insert_edges(&batch);
+
+        let mut seq = TreapOrderCore::new(g.clone(), seed);
+        let mut applied = 0usize;
+        for &(u, v) in &batch {
+            if seq.insert_edge(u, v).is_ok() {
+                applied += 1;
+            }
+        }
+        prop_assert_eq!(stats.skipped, batch.len() - applied);
+        prop_assert_eq!(batched.cores(), seq.cores());
+        prop_assert_eq!(
+            batched.cores(),
+            &kcore_decomp::core_decomposition(batched.graph())[..]
+        );
+        batched.validate();
+    }
+
+    /// Same equivalence for the batched removal entry point, with the
+    /// batch salted by absent edges and self loops.
+    #[test]
+    fn remove_edges_equals_sequential_and_decomposition(
+        g in arb_graph(16, 60),
+        picks in prop::collection::vec((0u32..18, 0u32..18), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let mut batched = TreapOrderCore::new(g.clone(), seed);
+        let stats = batched.remove_edges(&picks);
+
+        let mut seq = TreapOrderCore::new(g, seed);
+        let mut applied = 0usize;
+        for &(u, v) in &picks {
+            if seq.remove_edge(u, v).is_ok() {
+                applied += 1;
+            }
+        }
+        prop_assert_eq!(stats.skipped, picks.len() - applied);
+        prop_assert_eq!(batched.cores(), seq.cores());
+        prop_assert_eq!(
+            batched.cores(),
+            &kcore_decomp::core_decomposition(batched.graph())[..]
+        );
+        batched.validate();
+    }
+
     /// Batch application (either path) equals sequential application.
     #[test]
     fn batch_equals_sequential(

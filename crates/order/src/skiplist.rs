@@ -197,11 +197,7 @@ impl SkipList {
                 // node's rank is after_rank + 1.
                 let w_p_new = (after_rank + 1 - pred_rank[level]) as u32;
                 let old_w = self.towers[p as usize].width[level];
-                let w_new_next = if nxt == NONE {
-                    0
-                } else {
-                    old_w + 1 - w_p_new
-                };
+                let w_new_next = if nxt == NONE { 0 } else { old_w + 1 - w_p_new };
                 let t = &mut self.towers[node as usize];
                 t.next[level] = nxt;
                 t.prev[level] = p;
@@ -299,7 +295,11 @@ impl SkipList {
         for level in 1..MAX_LEVEL {
             let mut cur = self.head;
             loop {
-                let nxt = self.towers[cur as usize].next.get(level).copied().unwrap_or(NONE);
+                let nxt = self.towers[cur as usize]
+                    .next
+                    .get(level)
+                    .copied()
+                    .unwrap_or(NONE);
                 if nxt == NONE {
                     break;
                 }

@@ -1,0 +1,202 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this crate vendors
+//! the subset of the criterion API the workspace's benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group` + `bench_with_input`, `BenchmarkId`, and
+//! `Bencher::iter`.
+//!
+//! Instead of criterion's statistical machinery each benchmark runs a
+//! short warm-up, then measures batches until a fixed wall-clock budget
+//! is spent, and prints the mean time per iteration. Good enough to
+//! rank alternatives and catch order-of-magnitude regressions; not a
+//! substitute for real criterion confidence intervals.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark (after warm-up).
+const BUDGET: Duration = Duration::from_millis(200);
+const WARMUP: Duration = Duration::from_millis(20);
+
+/// Re-export so benches can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The per-benchmark timing driver.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    pub mean_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean per-iteration cost.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: also discovers a batch size that keeps clock overhead
+        // under control.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let batch = (warm_iters / 20).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while total < BUDGET {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += t.elapsed();
+            iters += batch;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut b = Bencher {
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.mean_ns >= 1.0e6 {
+        println!(
+            "{label:<50} {:>12.3} ms/iter ({} iters)",
+            b.mean_ns / 1.0e6,
+            b.iters
+        );
+    } else if b.mean_ns >= 1.0e3 {
+        println!(
+            "{label:<50} {:>12.3} us/iter ({} iters)",
+            b.mean_ns / 1.0e3,
+            b.iters
+        );
+    } else {
+        println!(
+            "{label:<50} {:>12.1} ns/iter ({} iters)",
+            b.mean_ns, b.iters
+        );
+    }
+}
+
+/// Identifier for a parameterised benchmark (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the shim's budget is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; parity with criterion).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// Declares a group function calling each benchmark function in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.iters > 0);
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        g.finish();
+    }
+}

@@ -14,6 +14,13 @@ pub struct UpdateStats {
     /// Vertices whose `cd` entries were recomputed during index
     /// maintenance (the hidden cost of the traversal family).
     pub refreshed: usize,
+    /// Updates short-circuited by Lemma 5.2 (`V* = ∅` without touching
+    /// any order structure) — the fast path batch processing exploits.
+    pub noop: usize,
+    /// Batch entries skipped as invalid (self-loops, duplicates, missing
+    /// edges, out-of-range endpoints). Always 0 for single-edge updates,
+    /// which report such edges as errors instead.
+    pub skipped: usize,
 }
 
 impl UpdateStats {
@@ -22,6 +29,8 @@ impl UpdateStats {
         self.visited += other.visited;
         self.changed += other.changed;
         self.refreshed += other.refreshed;
+        self.noop += other.noop;
+        self.skipped += other.skipped;
     }
 }
 
@@ -273,7 +282,9 @@ impl TraversalCore {
             for i in 0..self.graph.degree(x) {
                 let z = self.graph.neighbors(x)[i];
                 let zi = z as usize;
-                if self.core[zi] == k && self.visit_mark[zi] == visit && self.evict_mark[zi] != visit
+                if self.core[zi] == k
+                    && self.visit_mark[zi] == visit
+                    && self.evict_mark[zi] != visit
                 {
                     self.cd_work[zi] -= 1;
                     if self.cd_work[zi] <= k {
@@ -555,7 +566,10 @@ mod tests {
             tc.remove_edge(0, 9),
             Err(EdgeListError::Missing(0, 9))
         ));
-        assert!(matches!(tc.insert_edge(1, 1), Err(EdgeListError::SelfLoop(1))));
+        assert!(matches!(
+            tc.insert_edge(1, 1),
+            Err(EdgeListError::SelfLoop(1))
+        ));
         tc.validate();
     }
 

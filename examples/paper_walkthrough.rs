@@ -15,7 +15,11 @@ use kcore::{
 fn main() {
     let pg = PaperGraph::full();
     let g = &pg.graph;
-    println!("Fig 3 graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    println!(
+        "Fig 3 graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // ---- Example 3.1: cores and subcores ----
     let core = core_decomposition(g);
@@ -73,7 +77,12 @@ fn main() {
     let order = OrderCore::new(g.clone(), 42);
     let o2 = order.level_order(2);
     let o3 = order.level_order(3);
-    println!("  |O_1| = {}, O_2 = {:?}, |O_3| = {}", order.level_order(1).len(), o2, o3.len());
+    println!(
+        "  |O_1| = {}, O_2 = {:?}, |O_3| = {}",
+        order.level_order(1).len(),
+        o2,
+        o3.len()
+    );
     println!(
         "  deg+(v in O_2) = {:?}  (Lemma 5.1: all <= 2)",
         o2.iter().map(|&v| order.deg_plus(v)).collect::<Vec<_>>()

@@ -145,10 +145,7 @@ fn fig_6_deg_plus_golden_values() {
     o3_degs.sort_unstable();
     assert_eq!(o3_degs, vec![0, 0, 1, 1, 2, 2, 3, 3]);
     // O_1: every chain vertex has deg+ exactly 1 (Fig 6's bottom row).
-    assert!(order
-        .level_order(1)
-        .iter()
-        .all(|&v| order.deg_plus(v) == 1));
+    assert!(order.level_order(1).iter().all(|&v| order.deg_plus(v) == 1));
 }
 
 /// The four-engine panorama of the search-space hierarchy on the
