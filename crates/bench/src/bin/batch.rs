@@ -1,25 +1,34 @@
-//! Batched vs one-at-a-time vs full-recompute update throughput.
+//! Batched vs one-at-a-time vs full-recompute update throughput, for
+//! **insertion**, **removal**, and mixed **churn** streams.
 //!
 //! The experiment behind the batched update engine: build a power-law
-//! base graph, prepare a stream of new edges, and apply it three ways —
+//! base graph, prepare an update stream, and apply it three ways —
 //!
 //! * **batched** — `OrderCore::insert_edges` / `remove_edges` in chunks
 //!   of `batch_size` (adjacency pre-reservation, level-sorted
-//!   application, rank caching);
+//!   application, rank caching, one multi-seed pass per affected level,
+//!   one compaction opportunity per removal batch);
 //! * **single** — the classic `insert_edge` / `remove_edge` loop;
 //! * **recompute** — mutate the graph and rerun the `O(m + n)`
 //!   decomposition once per chunk (the "no index" strawman, which
 //!   batching *should* beat until chunks approach the graph size).
 //!
-//! Results go to stdout as a table and to `BENCH_batch.json` as
+//! The churn section interleaves insert/remove micro-batches from
+//! `kcore_gen::churn_stream` — the mixed workload a real ingest loop
+//! delivers — batched vs one-at-a-time.
+//!
+//! Results go to stdout as tables and to `BENCH_batch.json` as
 //! machine-readable edges/sec per batch size, so future changes can
-//! track the throughput curve. Run with `--release`; the JSON includes
-//! the batched-vs-single ratio the acceptance gate reads.
+//! track the throughput curves. Run with `--release`; the JSON includes
+//! the batched-vs-single ratios the acceptance gates read, and the
+//! `--min-*-ratio` flags turn those gates into a nonzero exit status for
+//! CI.
 
 use kcore_bench::{degree_weighted_fresh_edges, fmt_ratio, row};
 use kcore_decomp::core_decomposition;
-use kcore_gen::barabasi_albert;
-use kcore_maint::TreapOrderCore;
+use kcore_gen::{barabasi_albert, churn_stream};
+use kcore_graph::DynamicGraph;
+use kcore_maint::{TreapOrderCore, UpdateStats};
 use std::io::Write;
 use std::time::Instant;
 
@@ -29,6 +38,10 @@ struct Args {
     updates: usize,
     seed: u64,
     out: String,
+    /// `0.0` disables the corresponding gate.
+    min_insert_ratio: f64,
+    min_removal_ratio: f64,
+    min_churn_ratio: f64,
 }
 
 impl Args {
@@ -39,6 +52,9 @@ impl Args {
             updates: 10_000,
             seed: 42,
             out: "BENCH_batch.json".to_string(),
+            min_insert_ratio: 0.0,
+            min_removal_ratio: 0.0,
+            min_churn_ratio: 0.0,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -53,8 +69,20 @@ impl Args {
                 "--updates" => a.updates = need(i).parse().expect("bad --updates"),
                 "--seed" => a.seed = need(i).parse().expect("bad --seed"),
                 "--out" => a.out = need(i).clone(),
+                "--min-insert-ratio" => {
+                    a.min_insert_ratio = need(i).parse().expect("bad --min-insert-ratio")
+                }
+                "--min-removal-ratio" => {
+                    a.min_removal_ratio = need(i).parse().expect("bad --min-removal-ratio")
+                }
+                "--min-churn-ratio" => {
+                    a.min_churn_ratio = need(i).parse().expect("bad --min-churn-ratio")
+                }
                 "--help" | "-h" => {
-                    eprintln!("flags: --n N  --attach M  --updates K  --seed S  --out FILE");
+                    eprintln!(
+                        "flags: --n N  --attach M  --updates K  --seed S  --out FILE  \
+                         --min-insert-ratio R  --min-removal-ratio R  --min-churn-ratio R"
+                    );
                     std::process::exit(0);
                 }
                 other => panic!("unknown flag {other:?} (try --help)"),
@@ -80,57 +108,103 @@ fn edges_per_sec(edges: usize, secs: f64) -> f64 {
     }
 }
 
-fn main() {
-    let args = Args::parse();
-    let g = barabasi_albert(args.n, args.attach, args.seed);
-    let stream = degree_weighted_fresh_edges(&g, args.updates, args.seed ^ 0xBEEF);
-    println!(
-        "base graph: n = {}, m = {} (barabasi_albert attach {}), stream = {} fresh edges\n",
-        g.num_vertices(),
-        g.num_edges(),
-        args.attach,
-        args.updates
+fn best_ratio(results: &[Measurement]) -> f64 {
+    results
+        .iter()
+        .map(|m| m.batched_eps / m.single_eps)
+        .fold(f64::MIN, f64::max)
+}
+
+fn print_table(title: &str, results: &[Measurement]) {
+    println!("\n== {title} ==");
+    row(
+        &[
+            "batch".into(),
+            "batched e/s".into(),
+            "single e/s".into(),
+            "recompute e/s".into(),
+            "batched/single".into(),
+            "batched/recompute".into(),
+        ],
+        8,
+        18,
     );
-
-    // Untimed warm-up: touches every structure once so the first timed
-    // measurement does not pay cold caches / CPU frequency ramp.
-    {
-        let mut warm = TreapOrderCore::new(g.clone(), args.seed);
-        for &(u, v) in &stream {
-            warm.insert_edge(u, v).expect("fresh edge");
-        }
+    for m in results {
+        row(
+            &[
+                format!("{}", m.batch_size),
+                format!("{:.0}", m.batched_eps),
+                format!("{:.0}", m.single_eps),
+                if m.recompute_eps > 0.0 {
+                    format!("{:.0}", m.recompute_eps)
+                } else {
+                    "-".into()
+                },
+                fmt_ratio(m.batched_eps, m.single_eps),
+                if m.recompute_eps > 0.0 {
+                    fmt_ratio(m.batched_eps, m.recompute_eps)
+                } else {
+                    "-".into()
+                },
+            ],
+            8,
+            18,
+        );
     }
+}
 
-    // Every timed configuration is measured `REPS` times keeping the
-    // best (minimum) wall time, and the repetitions of *all*
-    // configurations are interleaved — so slow host intervals (this is
-    // typically a shared/virtualised box) hit every configuration
-    // equally instead of biasing whichever ran during the bad window.
-    const REPS: usize = 5;
-
-    // 1..=1k per the bench-trajectory protocol, plus the whole stream as
-    // one batch — the "batched insertion of 10k edges" headline number.
-    let mut batch_sizes = vec![1usize, 10, 100, 1_000];
-    if args.updates > 1_000 {
-        batch_sizes.push(args.updates);
+/// The per-section JSON body (batch array + ratio summary), indented by
+/// `indent`; no trailing newline so callers control the section close.
+fn json_section(results: &[Measurement], target: f64, indent: &str) -> String {
+    let mut s = format!("{indent}\"batch\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "{indent}  {{ \"batch_size\": {}, \"batched_edges_per_sec\": {:.1}, \"recompute_edges_per_sec\": {:.1}, \"ratio_vs_single\": {:.3}, \"ratio_vs_recompute\": {:.3} }}{}\n",
+            m.batch_size,
+            m.batched_eps,
+            m.recompute_eps,
+            m.batched_eps / m.single_eps,
+            if m.recompute_eps > 0.0 { m.batched_eps / m.recompute_eps } else { 0.0 },
+            if i + 1 == results.len() { "" } else { "," }
+        ));
     }
+    s.push_str(&format!("{indent}],\n"));
+    s.push_str(&format!(
+        "{indent}\"best_ratio_vs_single\": {:.3},\n{indent}\"target_ratio\": {target:.1}",
+        best_ratio(results)
+    ));
+    s
+}
 
+/// Every timed configuration is measured `REPS` times keeping the best
+/// (minimum) wall time, and the repetitions of *all* configurations are
+/// interleaved — so slow host intervals (this is typically a
+/// shared/virtualised box) hit every configuration equally instead of
+/// biasing whichever ran during the bad window.
+const REPS: usize = 5;
+
+fn measure_inserts(
+    g: &DynamicGraph,
+    stream: &[(u32, u32)],
+    batch_sizes: &[usize],
+    seed: u64,
+) -> Vec<Measurement> {
     let mut single_secs = f64::INFINITY;
     let mut batched_secs = vec![f64::INFINITY; batch_sizes.len()];
     let mut batched_cores: Vec<u32> = Vec::new();
     for _ in 0..REPS {
         // One-at-a-time reference (batch size is irrelevant to it).
-        let mut engine = TreapOrderCore::new(g.clone(), args.seed);
+        let mut engine = TreapOrderCore::new(g.clone(), seed);
         let t = Instant::now();
-        for &(u, v) in &stream {
+        for &(u, v) in stream {
             engine.insert_edge(u, v).expect("fresh edge");
         }
         single_secs = single_secs.min(t.elapsed().as_secs_f64());
 
         for (bi, &bs) in batch_sizes.iter().enumerate() {
-            let mut engine = TreapOrderCore::new(g.clone(), args.seed);
+            let mut engine = TreapOrderCore::new(g.clone(), seed);
             let t = Instant::now();
-            let mut stats = kcore_maint::UpdateStats::default();
+            let mut stats = UpdateStats::default();
             for chunk in stream.chunks(bs) {
                 stats.absorb(engine.insert_edges(chunk));
             }
@@ -141,7 +215,7 @@ fn main() {
     }
     let single_eps = edges_per_sec(stream.len(), single_secs);
 
-    let mut results: Vec<Measurement> = Vec::new();
+    let mut results = Vec::new();
     for (bi, &bs) in batch_sizes.iter().enumerate() {
         // Full recompute per chunk (once; it is never the contended
         // comparison and its cost is orders of magnitude off either way).
@@ -155,7 +229,7 @@ fn main() {
             cores = core_decomposition(&graph);
         }
         let recompute_secs = t.elapsed().as_secs_f64();
-        assert_eq!(cores, batched_cores, "engines disagree");
+        assert_eq!(cores, batched_cores, "engines disagree on insertion");
 
         results.push(Measurement {
             batch_size: bs,
@@ -164,39 +238,182 @@ fn main() {
             recompute_eps: edges_per_sec(stream.len(), recompute_secs),
         });
     }
+    results
+}
 
-    row(
-        &[
-            "batch".into(),
-            "batched e/s".into(),
-            "single e/s".into(),
-            "recompute e/s".into(),
-            "batched/single".into(),
-            "batched/recompute".into(),
-        ],
-        8,
-        18,
+fn measure_removals(
+    g_full: &DynamicGraph,
+    stream: &[(u32, u32)],
+    batch_sizes: &[usize],
+    seed: u64,
+) -> Vec<Measurement> {
+    let base_cores_after = {
+        let mut graph = g_full.clone();
+        for &(u, v) in stream {
+            graph.remove_edge(u, v).expect("stream edge present");
+        }
+        core_decomposition(&graph)
+    };
+
+    let mut single_secs = f64::INFINITY;
+    let mut batched_secs = vec![f64::INFINITY; batch_sizes.len()];
+    for _ in 0..REPS {
+        let mut engine = TreapOrderCore::new(g_full.clone(), seed);
+        let t = Instant::now();
+        for &(u, v) in stream {
+            engine.remove_edge(u, v).expect("stream edge present");
+        }
+        single_secs = single_secs.min(t.elapsed().as_secs_f64());
+        assert_eq!(engine.cores(), &base_cores_after[..]);
+
+        for (bi, &bs) in batch_sizes.iter().enumerate() {
+            let mut engine = TreapOrderCore::new(g_full.clone(), seed);
+            let t = Instant::now();
+            let mut stats = UpdateStats::default();
+            for chunk in stream.chunks(bs) {
+                stats.absorb(engine.remove_edges(chunk));
+            }
+            batched_secs[bi] = batched_secs[bi].min(t.elapsed().as_secs_f64());
+            assert_eq!(stats.skipped, 0, "stream edges are all present");
+            assert_eq!(engine.cores(), &base_cores_after[..], "removal diverged");
+        }
+    }
+    let single_eps = edges_per_sec(stream.len(), single_secs);
+
+    let mut results = Vec::new();
+    for (bi, &bs) in batch_sizes.iter().enumerate() {
+        let mut graph = g_full.clone();
+        let t = Instant::now();
+        for chunk in stream.chunks(bs) {
+            for &(u, v) in chunk {
+                graph.remove_edge(u, v).expect("stream edge present");
+            }
+            let _ = core_decomposition(&graph);
+        }
+        let recompute_secs = t.elapsed().as_secs_f64();
+
+        results.push(Measurement {
+            batch_size: bs,
+            batched_eps: edges_per_sec(stream.len(), batched_secs[bi]),
+            single_eps,
+            recompute_eps: edges_per_sec(stream.len(), recompute_secs),
+        });
+    }
+    results
+}
+
+fn measure_churn(
+    g: &DynamicGraph,
+    total_ops: usize,
+    batch_sizes: &[usize],
+    seed: u64,
+) -> Vec<Measurement> {
+    let mut results = Vec::new();
+    for &bs in batch_sizes {
+        // Each micro-batch carries bs/2 inserts + bs/2 removals; the
+        // whole stream totals ~total_ops edge operations.
+        let half = (bs / 2).max(1);
+        let batches = (total_ops / (2 * half)).max(1);
+        let stream = churn_stream(g, batches, half, half, seed ^ 0xC0FFEE);
+        let ops: usize = stream.iter().map(|b| b.ops()).sum();
+
+        let mut single_secs = f64::INFINITY;
+        let mut batched_secs = f64::INFINITY;
+        let mut single_cores: Vec<u32> = Vec::new();
+        let mut batched_cores: Vec<u32> = Vec::new();
+        for _ in 0..REPS {
+            let mut engine = TreapOrderCore::new(g.clone(), seed);
+            let t = Instant::now();
+            for b in &stream {
+                for &(u, v) in &b.inserts {
+                    engine.insert_edge(u, v).expect("churn insert fresh");
+                }
+                for &(u, v) in &b.removes {
+                    engine.remove_edge(u, v).expect("churn removal live");
+                }
+            }
+            single_secs = single_secs.min(t.elapsed().as_secs_f64());
+            single_cores = engine.cores().to_vec();
+
+            let mut engine = TreapOrderCore::new(g.clone(), seed);
+            let t = Instant::now();
+            let mut stats = UpdateStats::default();
+            for b in &stream {
+                stats.absorb(engine.insert_edges(&b.inserts));
+                stats.absorb(engine.remove_edges(&b.removes));
+            }
+            batched_secs = batched_secs.min(t.elapsed().as_secs_f64());
+            assert_eq!(stats.skipped, 0, "churn streams replay cleanly");
+            batched_cores = engine.cores().to_vec();
+        }
+        assert_eq!(batched_cores, single_cores, "churn engines disagree");
+
+        results.push(Measurement {
+            batch_size: bs,
+            batched_eps: edges_per_sec(ops, batched_secs),
+            single_eps: edges_per_sec(ops, single_secs),
+            recompute_eps: 0.0, // not measured for churn
+        });
+    }
+    results
+}
+
+fn main() {
+    let args = Args::parse();
+    let g = barabasi_albert(args.n, args.attach, args.seed);
+    let stream = degree_weighted_fresh_edges(&g, args.updates, args.seed ^ 0xBEEF);
+    println!(
+        "base graph: n = {}, m = {} (barabasi_albert attach {}), stream = {} fresh edges",
+        g.num_vertices(),
+        g.num_edges(),
+        args.attach,
+        args.updates
     );
-    for m in &results {
-        row(
-            &[
-                format!("{}", m.batch_size),
-                format!("{:.0}", m.batched_eps),
-                format!("{:.0}", m.single_eps),
-                format!("{:.0}", m.recompute_eps),
-                fmt_ratio(m.batched_eps, m.single_eps),
-                fmt_ratio(m.batched_eps, m.recompute_eps),
-            ],
-            8,
-            18,
-        );
+
+    // Untimed warm-up: touches every structure once so the first timed
+    // measurement does not pay cold caches / CPU frequency ramp.
+    {
+        let mut warm = TreapOrderCore::new(g.clone(), args.seed);
+        for &(u, v) in &stream {
+            warm.insert_edge(u, v).expect("fresh edge");
+        }
+        for &(u, v) in stream.iter().rev() {
+            warm.remove_edge(u, v).expect("edge present");
+        }
     }
 
-    let headline = results
-        .iter()
-        .map(|m| m.batched_eps / m.single_eps)
-        .fold(f64::MIN, f64::max);
-    println!("\nbest batched/single ratio: {headline:.2}x (target >= 1.5x)");
+    // 1..=1k per the bench-trajectory protocol, plus the whole stream as
+    // one batch — the "batched update of 10k edges" headline number.
+    let mut batch_sizes = vec![1usize, 10, 100, 1_000];
+    if args.updates > 1_000 {
+        batch_sizes.push(args.updates);
+    }
+
+    let insert_results = measure_inserts(&g, &stream, &batch_sizes, args.seed);
+    print_table("insertion", &insert_results);
+
+    // Removal departs from the post-insertion graph, tearing the same
+    // stream back out.
+    let mut g_full = g.clone();
+    for &(u, v) in &stream {
+        g_full.insert_edge_unchecked(u, v);
+    }
+    let removal_results = measure_removals(&g_full, &stream, &batch_sizes, args.seed);
+    print_table("removal", &removal_results);
+
+    // Churn: micro-batches of interleaved inserts + removals (batch size
+    // 1 is exactly the single loop — skip it).
+    let churn_sizes: Vec<usize> = batch_sizes.iter().copied().filter(|&b| b >= 10).collect();
+    let churn_results = measure_churn(&g, args.updates, &churn_sizes, args.seed);
+    print_table("churn (mixed insert/remove)", &churn_results);
+
+    let insert_best = best_ratio(&insert_results);
+    let removal_best = best_ratio(&removal_results);
+    let churn_best = best_ratio(&churn_results);
+    println!(
+        "\nbest batched/single — insert: {insert_best:.2}x (target >= 1.5x), \
+         removal: {removal_best:.2}x (target >= 1.3x), churn: {churn_best:.2}x"
+    );
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -208,26 +425,42 @@ fn main() {
         args.seed
     ));
     json.push_str(&format!("  \"updates\": {},\n", args.updates));
-    json.push_str(&format!("  \"single_edges_per_sec\": {:.1},\n", single_eps));
-    json.push_str("  \"batch\": [\n");
-    for (i, m) in results.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{ \"batch_size\": {}, \"batched_edges_per_sec\": {:.1}, \"recompute_edges_per_sec\": {:.1}, \"ratio_vs_single\": {:.3}, \"ratio_vs_recompute\": {:.3} }}{}\n",
-            m.batch_size,
-            m.batched_eps,
-            m.recompute_eps,
-            m.batched_eps / m.single_eps,
-            m.batched_eps / m.recompute_eps,
-            if i + 1 == results.len() { "" } else { "," }
-        ));
-    }
-    json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"best_ratio_vs_single\": {:.3},\n  \"target_ratio\": 1.5\n}}\n",
-        headline
+        "  \"single_edges_per_sec\": {:.1},\n",
+        insert_results[0].single_eps
     ));
+    json.push_str(&json_section(&insert_results, 1.5, "  "));
+    json.push_str(",\n  \"removal\": {\n");
+    json.push_str(&format!(
+        "    \"single_edges_per_sec\": {:.1},\n",
+        removal_results[0].single_eps
+    ));
+    json.push_str(&json_section(&removal_results, 1.3, "    "));
+    json.push_str("\n  },\n  \"churn\": {\n");
+    json.push_str(&format!(
+        "    \"single_edges_per_sec\": {:.1},\n",
+        churn_results[0].single_eps
+    ));
+    json.push_str(&json_section(&churn_results, 1.0, "    "));
+    json.push_str("\n  }\n}\n");
     let mut f = std::fs::File::create(&args.out).expect("create BENCH_batch.json");
     f.write_all(json.as_bytes())
         .expect("write BENCH_batch.json");
     println!("wrote {}", args.out);
+
+    // ---- CI gates ----
+    let mut failed = false;
+    for (name, best, min) in [
+        ("insert", insert_best, args.min_insert_ratio),
+        ("removal", removal_best, args.min_removal_ratio),
+        ("churn", churn_best, args.min_churn_ratio),
+    ] {
+        if min > 0.0 && best < min {
+            eprintln!("GATE FAILED: {name} batched/single {best:.3} < required {min}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }

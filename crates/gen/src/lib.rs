@@ -24,4 +24,6 @@ pub use generators::{
     heterogeneous_social, holme_kim, rmat, watts_strogatz,
 };
 pub use sample::{induced_vertex_sample, sample_edge_subgraph, sample_edges, EdgeSampler};
-pub use temporal::{batch_stream, timestamp_edges, SlidingWindow, WindowOp};
+pub use temporal::{
+    batch_stream, churn_stream, timestamp_edges, ChurnBatch, SlidingWindow, WindowOp,
+};

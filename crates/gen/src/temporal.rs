@@ -4,7 +4,7 @@
 //! the Konect-style `u v t` files `kcore-graph::io` reads and writes.
 
 use kcore_graph::io::TemporalEdge;
-use kcore_graph::{DynamicGraph, VertexId};
+use kcore_graph::{edge_key, DynamicGraph, FxHashMap, VertexId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -66,6 +66,106 @@ pub fn batch_stream(
         batches.push(current);
     }
     batches
+}
+
+/// One micro-batch of a churn stream: `inserts` are applied first, then
+/// `removes` (which may therefore include edges inserted by the same
+/// batch — short-lived links are exactly what churn workloads exhibit).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChurnBatch {
+    /// Fresh edges, valid to insert (in order) after every prior batch.
+    pub inserts: Vec<(VertexId, VertexId)>,
+    /// Live edges, valid to remove (in order) after this batch's inserts.
+    pub removes: Vec<(VertexId, VertexId)>,
+}
+
+impl ChurnBatch {
+    /// Total edge operations in the batch.
+    pub fn ops(&self) -> usize {
+        self.inserts.len() + self.removes.len()
+    }
+}
+
+/// Generates `batches` interleaved insert/remove micro-batches over the
+/// live edge set that starts as `g`'s edges — the mixed workload the
+/// batched maintenance engine sees from a real ingest loop.
+///
+/// Inserts are **degree-weighted** (each endpoint is drawn as a random
+/// half-edge target of the *current* live set, i.e. with probability
+/// proportional to its live degree — the preferential-attachment model
+/// power-law streams follow) and always fresh; removes are **uniform**
+/// over the live edges. Replaying the batches in order — all of a
+/// batch's inserts, then its removes — is therefore always valid: no
+/// duplicate insert, no missing removal (`UpdateStats::skipped` stays 0
+/// through any engine's batch entry points).
+///
+/// `removes_per_batch` is capped by the live-edge count so the stream
+/// never drains the graph; insert sampling gives up after a bounded
+/// number of rejected draws (relevant only for near-complete graphs), so
+/// batches may come up short rather than loop forever.
+pub fn churn_stream(
+    g: &DynamicGraph,
+    batches: usize,
+    inserts_per_batch: usize,
+    removes_per_batch: usize,
+    seed: u64,
+) -> Vec<ChurnBatch> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Live edge set: dense vector for uniform picks + index map for O(1)
+    // membership tests and swap-removal.
+    let mut live: Vec<(VertexId, VertexId)> = g.edge_vec();
+    let mut index: FxHashMap<u64, usize> = FxHashMap::default();
+    for (i, &(u, v)) in live.iter().enumerate() {
+        index.insert(edge_key(u, v), i);
+    }
+    assert!(!live.is_empty(), "churn needs a non-empty base edge set");
+
+    let mut out = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let mut batch = ChurnBatch::default();
+
+        // Degree-weighted fresh inserts against the current live set.
+        let mut rejections = 0usize;
+        while batch.inserts.len() < inserts_per_batch {
+            let pick = |rng: &mut SmallRng, live: &[(VertexId, VertexId)]| {
+                let (a, b) = live[rng.gen_range(0..live.len())];
+                if rng.gen_bool(0.5) {
+                    a
+                } else {
+                    b
+                }
+            };
+            let u = pick(&mut rng, &live);
+            let v = pick(&mut rng, &live);
+            let key = edge_key(u, v);
+            if u == v || index.contains_key(&key) {
+                rejections += 1;
+                if rejections > 50 * (inserts_per_batch + 1) {
+                    break; // graph (nearly) complete — stop short
+                }
+                continue;
+            }
+            index.insert(key, live.len());
+            live.push((u, v));
+            batch.inserts.push((u, v));
+        }
+
+        // Uniform removals of live edges (capped: never drain the set).
+        let removes = removes_per_batch.min(live.len().saturating_sub(1));
+        for _ in 0..removes {
+            let at = rng.gen_range(0..live.len());
+            let (u, v) = live.swap_remove(at);
+            index.remove(&edge_key(u, v));
+            if at < live.len() {
+                let (a, b) = live[at];
+                index.insert(edge_key(a, b), at);
+            }
+            batch.removes.push((u, v));
+        }
+
+        out.push(batch);
+    }
+    out
 }
 
 /// A sliding-window view over a temporal stream: maintains the graph of
@@ -176,6 +276,48 @@ mod tests {
             sorted.sort_by_key(|e| e.t);
             let expect: Vec<(u32, u32)> = sorted.iter().map(|e| (e.u, e.v)).collect();
             assert_eq!(flat, expect);
+        }
+    }
+
+    #[test]
+    fn churn_stream_replays_cleanly() {
+        // Every insert fresh, every removal live — replay against a plain
+        // edge-set model must never conflict.
+        let g = barabasi_albert(120, 3, 11);
+        let mut model = g.clone();
+        let batches = churn_stream(&g, 25, 8, 6, 17);
+        assert_eq!(batches.len(), 25);
+        let mut ins_total = 0;
+        let mut rem_total = 0;
+        for b in &batches {
+            for &(u, v) in &b.inserts {
+                model.insert_edge(u, v).expect("churn insert must be fresh");
+            }
+            for &(u, v) in &b.removes {
+                model.remove_edge(u, v).expect("churn removal must be live");
+            }
+            ins_total += b.inserts.len();
+            rem_total += b.removes.len();
+            assert_eq!(b.ops(), b.inserts.len() + b.removes.len());
+        }
+        assert_eq!(ins_total, 25 * 8, "base graph large enough to not stall");
+        assert_eq!(rem_total, 25 * 6);
+        assert_eq!(model.num_edges(), g.num_edges() + ins_total - rem_total);
+        model.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn churn_stream_is_seeded_and_never_drains() {
+        let g = barabasi_albert(40, 2, 3);
+        assert_eq!(churn_stream(&g, 5, 4, 4, 9), churn_stream(&g, 5, 4, 4, 9));
+        assert_ne!(churn_stream(&g, 5, 4, 4, 9), churn_stream(&g, 5, 4, 4, 10));
+        // Removal-heavy stream: the cap keeps at least one live edge.
+        let m = g.num_edges();
+        let heavy = churn_stream(&g, 10, 0, m, 5);
+        let mut live = m as i64;
+        for b in &heavy {
+            live += b.inserts.len() as i64 - b.removes.len() as i64;
+            assert!(live >= 1);
         }
     }
 

@@ -13,7 +13,11 @@
 //!   slot becomes a hole);
 //! * **CSR-style compaction on demand**: when holes exceed the live
 //!   data, the buffer is rebuilt tight-packed in vertex order — which
-//!   also restores perfect scan locality;
+//!   also restores perfect scan locality. Compaction is **never**
+//!   triggered implicitly by a mutation: callers invoke
+//!   [`AdjArena::maintain`] at their own batch boundaries, so a
+//!   removal-heavy stream pays the `O(live)` rebuild once per batch
+//!   instead of as a latency spike in the middle of one;
 //! * **batch pre-reservation** ([`AdjArena::reserve`]): a caller that
 //!   knows how many neighbours a vertex is about to gain can size the
 //!   slot once, so the steady-state push path never allocates or
@@ -26,9 +30,8 @@
 
 use crate::graph::VertexId;
 
-/// Compact once the backing buffer exceeds `GROWTH_FACTOR * live + SLACK`
-/// entries (i.e. holes outweigh live data by the factor).
-const COMPACT_FACTOR: usize = 2;
+/// Flat slack added to every [`AdjArena::maintain`] threshold so tiny
+/// arenas never bother compacting.
 const COMPACT_SLACK: usize = 4096;
 
 /// Minimum slot capacity allocated on first growth.
@@ -47,6 +50,9 @@ pub struct AdjArena {
     cap: Vec<u32>,
     /// Sum of `len` — the number of live half-edges.
     live: usize,
+    /// Number of compactions performed so far (diagnostics; lets tests
+    /// assert a removal batch compacts at most once).
+    compactions: u64,
 }
 
 impl AdjArena {
@@ -63,6 +69,7 @@ impl AdjArena {
             len: vec![0; n],
             cap: vec![0; n],
             live: 0,
+            compactions: 0,
         }
     }
 
@@ -202,11 +209,28 @@ impl AdjArena {
         self.slice(v).iter().position(|&x| x == w)
     }
 
-    /// `true` when holes outweigh live data and a [`compact`][Self::compact]
-    /// would pay off.
+    /// The explicit compaction policy hook: compacts when the backing
+    /// buffer exceeds `max_hole_ratio * live + slack` entries, i.e. when
+    /// holes outweigh live data by the given factor. Returns whether a
+    /// compaction ran.
+    ///
+    /// Mutations never compact on their own; batch writers call this once
+    /// per batch (and single-edge engines once per update — the check is
+    /// `O(1)`), which turns the `O(live)` rebuild from a mid-batch latency
+    /// spike into a scheduled, amortised step.
+    pub fn maintain(&mut self, max_hole_ratio: f64) -> bool {
+        debug_assert!(max_hole_ratio >= 1.0, "ratio below 1.0 compacts always");
+        if self.buf.len() as f64 > max_hole_ratio * self.live as f64 + COMPACT_SLACK as f64 {
+            self.compact();
+            return true;
+        }
+        false
+    }
+
+    /// Number of compactions performed over this arena's lifetime.
     #[inline]
-    pub fn should_compact(&self) -> bool {
-        self.buf.len() > COMPACT_FACTOR * self.live + COMPACT_SLACK
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// Rebuilds the buffer tight-packed in vertex order (CSR layout):
@@ -221,6 +245,7 @@ impl AdjArena {
             new_buf.extend_from_slice(&self.buf[o..o + l]);
         }
         self.buf = new_buf;
+        self.compactions += 1;
     }
 
     /// Verifies slot invariants (tests / debug).
@@ -324,6 +349,35 @@ mod tests {
         for v in 0..8u32 {
             assert_eq!(a.slice(v), before[v as usize].as_slice());
         }
+        a.check().unwrap();
+    }
+
+    #[test]
+    fn maintain_compacts_only_past_the_ratio() {
+        let mut a = AdjArena::with_vertices(64);
+        // Repeated doubling leaves holes behind every relocation.
+        for v in 0..64u32 {
+            for i in 0..300u32 {
+                a.push(v, i);
+            }
+        }
+        // Trim most lists so holes vastly outweigh live data.
+        for v in 0..64u32 {
+            while a.len_of(v) > 2 {
+                a.swap_remove(v, 0);
+            }
+        }
+        assert_eq!(a.compactions(), 0, "no mutation may compact implicitly");
+        // A huge ratio tolerates the holes…
+        assert!(!a.maintain(1.0e6));
+        assert_eq!(a.compactions(), 0);
+        // …the default-ish ratio does not.
+        assert!(a.maintain(2.0));
+        assert_eq!(a.compactions(), 1);
+        assert_eq!(a.backing_len(), a.half_edges());
+        // Idempotent once tight.
+        assert!(!a.maintain(2.0));
+        assert_eq!(a.compactions(), 1);
         a.check().unwrap();
     }
 

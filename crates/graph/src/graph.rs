@@ -7,6 +7,11 @@ use std::fmt;
 /// per-vertex attribute in the algorithm layers live in a flat `Vec`.
 pub type VertexId = u32;
 
+/// The hole ratio at which [`DynamicGraph::maintain_adjacency`] compacts —
+/// backing entries may grow to twice the live half-edges (plus slack)
+/// before a CSR rebuild is scheduled.
+pub const DEFAULT_MAX_HOLE_RATIO: f64 = 2.0;
+
 /// Sentinel for "no vertex" used by intrusive structures in other crates.
 pub const NO_VERTEX: VertexId = VertexId::MAX;
 
@@ -203,6 +208,12 @@ impl DynamicGraph {
     }
 
     /// Removes the undirected edge `(u, v)`; `Err` if it was not present.
+    ///
+    /// Removal leaves relocation holes in the adjacency arena and **never**
+    /// compacts on its own: callers schedule compaction explicitly through
+    /// [`maintain_adjacency`][Self::maintain_adjacency] at their batch
+    /// boundaries (the maintenance engines do this once per update batch),
+    /// so removal-heavy streams see no mid-batch latency spikes.
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), EdgeListError> {
         let n = self.adj.num_vertices();
         if u as usize >= n || v as usize >= n {
@@ -215,9 +226,6 @@ impl DynamicGraph {
         self.adj.swap_remove(u, pu);
         self.adj.swap_remove(v, pv);
         self.m -= 1;
-        if self.adj.should_compact() {
-            self.adj.compact();
-        }
         Ok(())
     }
 
@@ -234,6 +242,21 @@ impl DynamicGraph {
     /// dropping relocation holes and restoring scan locality.
     pub fn compact_adjacency(&mut self) {
         self.adj.compact();
+    }
+
+    /// The adjacency compaction policy hook: compacts when holes exceed
+    /// `max_hole_ratio * live + slack` backing entries (see
+    /// [`AdjArena::maintain`]). Returns whether a compaction ran. Call at
+    /// batch boundaries; [`DEFAULT_MAX_HOLE_RATIO`] matches the historical
+    /// amortised policy.
+    pub fn maintain_adjacency(&mut self, max_hole_ratio: f64) -> bool {
+        self.adj.maintain(max_hole_ratio)
+    }
+
+    /// Number of adjacency compactions over this graph's lifetime
+    /// (diagnostics; tests assert one per removal batch at most).
+    pub fn adjacency_compactions(&self) -> u64 {
+        self.adj.compactions()
     }
 
     /// `(live half-edges, backing-buffer entries)` of the adjacency
@@ -427,6 +450,36 @@ mod tests {
         assert_eq!(edge_key(7, 3), edge_key(3, 7));
         assert_eq!(key_edge(edge_key(3, 7)), (3, 7));
         assert_ne!(edge_key(1, 2), edge_key(1, 3));
+    }
+
+    #[test]
+    fn removal_never_compacts_implicitly() {
+        // Build enough relocation churn that the old per-remove policy
+        // would have compacted, then check removal leaves the holes alone
+        // until maintain_adjacency is invoked.
+        let mut g = DynamicGraph::with_vertices(200);
+        for u in 0..200u32 {
+            for v in 0..200u32 {
+                if u < v {
+                    g.insert_edge_unchecked(u, v);
+                }
+            }
+        }
+        for u in 0..200u32 {
+            for v in 0..200u32 {
+                if u < v && (u + v) % 20 != 0 {
+                    g.remove_edge(u, v).unwrap();
+                }
+            }
+        }
+        assert_eq!(g.adjacency_compactions(), 0);
+        let (live, backing) = g.adjacency_footprint();
+        assert!(backing > 2 * live, "test graph must actually have holes");
+        assert!(g.maintain_adjacency(DEFAULT_MAX_HOLE_RATIO));
+        assert_eq!(g.adjacency_compactions(), 1);
+        let (live, backing) = g.adjacency_footprint();
+        assert_eq!(live, backing);
+        g.check_consistency().unwrap();
     }
 
     #[test]

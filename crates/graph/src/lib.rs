@@ -36,5 +36,7 @@ pub mod stats;
 
 pub use arena::AdjArena;
 pub use csr::CsrGraph;
-pub use graph::{edge_key, key_edge, DynamicGraph, EdgeListError, VertexId, NO_VERTEX};
+pub use graph::{
+    edge_key, key_edge, DynamicGraph, EdgeListError, VertexId, DEFAULT_MAX_HOLE_RATIO, NO_VERTEX,
+};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};

@@ -8,9 +8,11 @@
 //!   up front and every touched [`AdjArena`](kcore_graph::AdjArena) slot
 //!   is sized once, so the steady-state per-edge path performs zero heap
 //!   allocation and zero slot relocation;
-//! * **level-sorted application** — edges are grouped by the (lower)
-//!   core level of their endpoints, so consecutive updates touch the
-//!   same `O_k`/`A_k` structures while they are cache-hot;
+//! * **one pass per affected level** — all Lemma 5.1 violators of a
+//!   level are resolved by a single multi-seed promotion pass (ascending,
+//!   with an upward cascade), and all dismissible vertices of a level by
+//!   a single multi-seed dismissal pass (descending, with a downward
+//!   cascade) — instead of one pass per edge;
 //! * **rank caching** — between promotion/dismissal passes the k-order
 //!   is frozen, so the `O(log n)` `A_k` rank walk behind every
 //!   same-level root test is computed once per vertex per frozen window
@@ -21,7 +23,10 @@
 //!   structure is touched;
 //! * **shared scratch** — the min-heap `B`, candidate set `VC`, and the
 //!   epoch-stamped scratch arrays live on the engine and are reused
-//!   across the whole batch (no per-edge setup beyond an epoch bump).
+//!   across the whole batch (no per-edge setup beyond an epoch bump);
+//! * **scheduled compaction** — removal batches consider adjacency-arena
+//!   compaction exactly once, between the apply and pass phases, instead
+//!   of risking a latency spike inside a per-edge hot loop.
 //!
 //! Unlike the single-edge API, the batch entry points **skip** invalid
 //! entries (self loops, duplicates — also within the batch —, missing
@@ -30,13 +35,13 @@
 //! transaction abort on the first dirty record. Use
 //! [`OrderCore::apply_batch`] for all-or-nothing semantics.
 //!
-//! Core numbers of the final graph are order-independent, so the
-//! level-sorted application order changes no observable core value —
-//! property-tested in `tests/proptest_maint.rs` against both
-//! edge-at-a-time insertion and a from-scratch decomposition.
+//! Core numbers of the final graph are order-independent, so neither the
+//! deferred passes nor the merged per-level walks change any observable
+//! core value — property-tested in `tests/proptest_maint.rs` against both
+//! edge-at-a-time updates and a from-scratch decomposition.
 
 use crate::order_core::OrderCore;
-use kcore_graph::VertexId;
+use kcore_graph::{VertexId, DEFAULT_MAX_HOLE_RATIO};
 use kcore_order::OrderSeq;
 use kcore_traversal::UpdateStats;
 
@@ -166,11 +171,25 @@ impl<S: OrderSeq> OrderCore<S> {
         stats
     }
 
-    /// Removes a batch of edges, updating core numbers and the k-order
-    /// after each admitted edge. Invalid entries (self loops, absent
-    /// edges — including edges already removed earlier in the batch —,
-    /// unknown endpoints) are skipped and counted in
-    /// [`UpdateStats::skipped`]. Returns aggregate stats.
+    /// Removes a batch of edges, updating core numbers and the k-order.
+    /// Invalid entries (self loops, absent edges — including edges removed
+    /// earlier in the same batch —, unknown endpoints) are skipped and
+    /// counted in [`UpdateStats::skipped`]. Returns aggregate stats.
+    ///
+    /// The mirror image of [`OrderCore::insert_edges`]. The **apply
+    /// phase** deletes every batch edge from the graph and repairs `mcd`
+    /// plus the earlier endpoint's `deg⁺` against the *frozen* k-order
+    /// (same-level ties resolve through the rank cache — one `A_k` walk
+    /// per hub per batch, not per edge), collecting the union of
+    /// dismissible vertices as per-level seed sets. The **pass phase**
+    /// then runs **one multi-seed dismissal pass per affected level,
+    /// descending**: all seeds of a level peel together into one `V*`
+    /// instead of one walk per edge, and a vertex dismissed from level
+    /// `k` whose `mcd` already violates at `k − 1` (a batch can drop a
+    /// core by more than one) is re-seeded into the `k − 1` pass — the
+    /// downward cascade matching batched insertion's upward one.
+    /// Adjacency-arena compaction is considered once per batch, between
+    /// the two phases, never in the middle of the apply loop.
     pub fn remove_edges(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateStats {
         let mut stats = UpdateStats::default();
         if edges.is_empty() {
@@ -178,34 +197,32 @@ impl<S: OrderSeq> OrderCore<S> {
         }
         let n = self.graph.num_vertices() as VertexId;
 
-        let mut batch: Vec<(u32, VertexId, VertexId)> = Vec::with_capacity(edges.len());
+        // ---- apply phase (k-order frozen; rank cache fully valid) ----
+        let dirty_epoch = self.bump_epoch();
+        let mut pool: Vec<VertexId> = Vec::new();
         for &(u, v) in edges {
             if u == v || u >= n || v >= n {
                 stats.skipped += 1;
                 continue;
             }
-            let k = self.core[u as usize].min(self.core[v as usize]);
-            batch.push((k, u, v));
-        }
-        // Dismissals cascade downward; processing high levels first keeps
-        // each level's structures hot while they are still being hit.
-        batch.sort_by_key(|&(k, _, _)| std::cmp::Reverse(k));
-
-        for &(_, u, v) in &batch {
-            if !self.graph.has_edge(u, v) {
+            // One adjacency scan decides presence and deletes: absent
+            // edges surface as `Missing` instead of a separate probe.
+            if self.graph.remove_edge(u, v).is_err() {
                 stats.skipped += 1;
                 continue;
             }
-            self.graph.remove_edge(u, v).expect("edge present");
 
             let (cu, cv) = (self.core[u as usize], self.core[v as usize]);
             debug_assert!(cu >= 1 && cv >= 1, "an incident edge implies core >= 1");
+            // mcd loses the removed edge immediately (old core numbers).
             if cu <= cv {
                 self.mcd[u as usize] -= 1;
             }
             if cv <= cu {
                 self.mcd[v as usize] -= 1;
             }
+            // The earlier endpoint counted the later one in deg⁺;
+            // same-level ties resolve through the rank cache.
             let earlier = if cu < cv {
                 u
             } else if cv < cu {
@@ -217,7 +234,53 @@ impl<S: OrderSeq> OrderCore<S> {
             };
             self.deg_plus[earlier as usize] -= 1;
 
-            self.dismiss_pass(u, v, cu.min(cv), &mut stats);
+            // A vertex becomes a dismissal seed the moment its mcd drops
+            // below its core; each enters the pool once.
+            let mut dirty = false;
+            for x in [u, v] {
+                let xi = x as usize;
+                if self.mcd[xi] < self.core[xi] {
+                    dirty = true;
+                    if self.touch_mark[xi] != dirty_epoch {
+                        self.touch_mark[xi] = dirty_epoch;
+                        pool.push(x);
+                    }
+                }
+            }
+            if !dirty {
+                // The k-order absorbs this edge unchanged — the removal
+                // mirror of the Lemma 5.2 short-circuit.
+                stats.noop += 1;
+            }
+        }
+
+        // One compaction opportunity per batch, before the passes rescan
+        // the touched neighbourhoods with (ideally) tight-packed lists.
+        self.graph.maintain_adjacency(DEFAULT_MAX_HOLE_RATIO);
+
+        // ---- pass phase: one multi-seed pass per level, descending ----
+        let mut seeds: Vec<VertexId> = Vec::new();
+        while !pool.is_empty() {
+            // Drop seeds a previous pass already resolved (peeled away as
+            // a neighbour of another seed, restoring mcd >= core).
+            pool.retain(|&x| self.mcd[x as usize] < self.core[x as usize]);
+            let Some(k) = pool.iter().map(|&x| self.core[x as usize]).max() else {
+                break;
+            };
+            seeds.clear();
+            seeds.extend(pool.iter().copied().filter(|&x| self.core[x as usize] == k));
+            pool.retain(|&x| self.core[x as usize] != k);
+            let seed_batch = std::mem::take(&mut seeds);
+            self.dismiss_pass(&seed_batch, k, &mut stats);
+            seeds = seed_batch;
+            // Downward cascade: a vertex dismissed from level k whose mcd
+            // already violates at k − 1 re-seeds the k − 1 pass.
+            for i in 0..self.vstar.len() {
+                let w = self.vstar[i];
+                if self.mcd[w as usize] < self.core[w as usize] {
+                    pool.push(w);
+                }
+            }
         }
         stats
     }
@@ -301,6 +364,82 @@ mod tests {
         // second (0,1) is already gone, (3,3) self loop, (0,99) range
         assert_eq!(stats.skipped, 3);
         assert_eq!(oc.graph().num_edges(), 5);
+        oc.validate();
+    }
+
+    #[test]
+    fn batch_remove_cascades_multiple_levels() {
+        // Tearing the rim off a wheel-like graph drops hub cores by more
+        // than one level in a single batch: the downward cascade must
+        // re-seed dismissed vertices instead of leaving Lemma 5.1 broken.
+        let mut g = fixtures::clique(6);
+        let hub_edges: Vec<(u32, u32)> = (0..5u32)
+            .flat_map(|a| ((a + 1)..6).map(move |b| (a, b)))
+            .filter(|&(a, b)| a != 5 && b != 5)
+            .collect();
+        for i in 6..12u32 {
+            g.add_vertex();
+            let _ = g.insert_edge(i, 5);
+        }
+        let mut oc = TreapOrderCore::new(g, 2);
+        assert_eq!(oc.core(5), 5);
+        // Remove every clique edge not touching vertex 5: its core falls
+        // 5 -> 1 in one batch.
+        let stats = oc.remove_edges(&hub_edges);
+        assert_eq!(stats.skipped, 0);
+        assert_eq!(oc.core(5), 1);
+        assert_eq!(oc.cores(), &core_decomposition(oc.graph())[..]);
+        oc.validate();
+    }
+
+    #[test]
+    fn batch_remove_merges_passes_per_level() {
+        // A 1k-edge removal batch on a power-law graph must run at most
+        // one dismissal pass per affected level — not one per edge, which
+        // is what the sequential loop pays.
+        let g = kcore_gen::barabasi_albert(4_000, 4, 21);
+        let max_core = *core_decomposition(&g).iter().max().unwrap();
+        let batch: Vec<(u32, u32)> = g.edge_vec().into_iter().step_by(15).take(1_000).collect();
+        assert_eq!(batch.len(), 1_000);
+
+        let mut batched = TreapOrderCore::new(g.clone(), 9);
+        let stats = batched.remove_edges(&batch);
+        assert_eq!(stats.skipped, 0);
+        assert!(
+            stats.passes <= max_core as usize,
+            "dismissal passes ({}) must not exceed affected levels (≤ {max_core})",
+            stats.passes
+        );
+        assert!(stats.changed > 0, "a 1k-edge tear must change some core");
+        assert!(stats.merged_seeds >= stats.passes);
+
+        // The sequential loop runs exactly one pass per removal.
+        let mut seq = TreapOrderCore::new(g, 9);
+        let mut seq_stats = kcore_traversal::UpdateStats::default();
+        for &(u, v) in &batch {
+            seq_stats.absorb(seq.remove_edge(u, v).unwrap());
+        }
+        assert_eq!(seq_stats.passes, batch.len());
+        assert_eq!(batched.cores(), seq.cores());
+    }
+
+    #[test]
+    fn batch_remove_compacts_at_most_once() {
+        // Grow a graph (relocation churn leaves arena holes), then remove
+        // a large batch: per-edge removal must never compact mid-batch —
+        // the policy hook runs once, between apply and pass phases.
+        let g = kcore_gen::barabasi_albert(2_000, 8, 4);
+        let mut oc = TreapOrderCore::new(g, 1);
+        let before = oc.graph().adjacency_compactions();
+        let batch: Vec<(u32, u32)> = oc.graph().edge_vec().into_iter().step_by(2).collect();
+        let stats = oc.remove_edges(&batch);
+        assert_eq!(stats.skipped, 0);
+        let after = oc.graph().adjacency_compactions();
+        assert!(
+            after - before <= 1,
+            "one removal batch compacted {} times",
+            after - before
+        );
         oc.validate();
     }
 

@@ -98,6 +98,8 @@ impl<S: OrderSeq> OrderCore<S> {
     /// (`self.vstar`) and cascade upward.
     #[allow(clippy::needless_range_loop)]
     pub(crate) fn promote_pass(&mut self, seeds: &[VertexId], k: u32, stats: &mut UpdateStats) {
+        stats.passes += 1;
+        stats.merged_seeds += seeds.len();
         self.ensure_level(k + 1);
         let epoch = self.bump_epoch();
         self.vc.clear();

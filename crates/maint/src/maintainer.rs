@@ -184,6 +184,8 @@ impl CoreMaintainer for RecomputeCore {
 
     fn remove(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
         self.graph.remove_edge(u, v)?;
+        self.graph
+            .maintain_adjacency(kcore_graph::DEFAULT_MAX_HOLE_RATIO);
         Ok(self.recompute())
     }
 

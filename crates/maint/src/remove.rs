@@ -6,9 +6,15 @@
 //! dismissal order, to the **end** of `O_{K−1}` while recomputing their
 //! `deg⁺` and decrementing the `deg⁺` of the level-K vertices that
 //! preceded them. No `pcd` is maintained — that is the whole point.
+//!
+//! The pass machinery is **seed-count agnostic**: a single-edge removal
+//! seeds the peel from the two endpoints, while the batched engine
+//! ([`OrderCore::remove_edges`](crate::order_core::OrderCore)) hands it
+//! every dismissible vertex of a level at once and runs one merged pass
+//! per affected level, cascading downward.
 
 use crate::order_core::OrderCore;
-use kcore_graph::{EdgeListError, VertexId};
+use kcore_graph::{EdgeListError, VertexId, DEFAULT_MAX_HOLE_RATIO};
 use kcore_order::OrderSeq;
 use kcore_traversal::UpdateStats;
 
@@ -20,6 +26,9 @@ impl<S: OrderSeq> OrderCore<S> {
             return Err(EdgeListError::Missing(u, v));
         }
         self.graph.remove_edge(u, v).expect("edge present");
+        // Adjacency compaction is an explicit policy step now; the O(1)
+        // check per update preserves the old amortised behaviour.
+        self.graph.maintain_adjacency(DEFAULT_MAX_HOLE_RATIO);
         let mut stats = UpdateStats::default();
 
         let (cu, cv) = (self.core[u as usize], self.core[v as usize]);
@@ -43,30 +52,28 @@ impl<S: OrderSeq> OrderCore<S> {
         };
         self.deg_plus[earlier as usize] -= 1;
 
-        self.dismiss_pass(u, v, cu.min(cv), &mut stats);
+        self.dismiss_pass(&[u, v], cu.min(cv), &mut stats);
         Ok(stats)
     }
 
-    /// `OrderRemoval`'s dismissal pass (Algorithm 4): finds `V*` from the
-    /// removed edge `(u, v)` at level `k` (mcd-seeded peeling) and moves
+    /// `OrderRemoval`'s dismissal pass (Algorithm 4): finds `V*` at level
+    /// `k` by an mcd-seeded peeling from `seeds` (roots not at level `k`,
+    /// or with `mcd >= k`, contribute nothing and are skipped) and moves
     /// the dismissed vertices to the end of `O_{K−1}`, repairing `deg⁺`
-    /// and `mcd` around them. The graph mutation, mcd decrement, and the
-    /// earlier endpoint's `deg⁺` decrement have already happened.
+    /// and `mcd` around them in one fused scan per dismissed vertex. The
+    /// graph mutations, mcd decrements, and the earlier endpoints' `deg⁺`
+    /// decrements have already happened.
     #[allow(clippy::needless_range_loop)]
-    pub(crate) fn dismiss_pass(
-        &mut self,
-        u: VertexId,
-        v: VertexId,
-        k: u32,
-        stats: &mut UpdateStats,
-    ) {
+    pub(crate) fn dismiss_pass(&mut self, seeds: &[VertexId], k: u32, stats: &mut UpdateStats) {
+        stats.passes += 1;
         // ---- find V* (traversal-removal routine, mcd-seeded) ----
         let epoch = self.bump_epoch();
         let mut vstar = std::mem::take(&mut self.vstar);
         vstar.clear();
         self.queue.clear();
         let mut touched = 0usize;
-        for root in [u, v] {
+        for i in 0..seeds.len() {
+            let root = seeds[i];
             let ri = root as usize;
             if self.core[ri] != k {
                 continue;
@@ -75,8 +82,9 @@ impl<S: OrderSeq> OrderCore<S> {
                 self.touch_mark[ri] = epoch;
                 self.cd_work[ri] = self.mcd[ri];
                 touched += 1;
+                stats.merged_seeds += 1;
             }
-            if self.core[ri] == k && self.cd_work[ri] < k {
+            if self.cd_work[ri] < k {
                 self.core[ri] = k - 1; // dismiss
                 self.queue_mark[ri] = epoch; // marks membership of V*
                 vstar.push(root);
@@ -117,7 +125,11 @@ impl<S: OrderSeq> OrderCore<S> {
 
         // ---- maintain the k-order (Algorithm 4 lines 6–14) ----
         // Process in dismissal order; vc_pos[w] = index lets the deg⁺
-        // recomputation see which V* members are still "remaining".
+        // recomputation see which V* members are still "remaining". One
+        // scan per dismissed vertex repairs the stayers' deg⁺ *and* mcd
+        // plus w's own deg⁺ and mcd: the mcd terms only read core values
+        // and V* membership, both fixed before this loop, so fusing them
+        // into the order-repair scan is safe.
         for (i, &w) in vstar.iter().enumerate() {
             self.vc_pos[w as usize] = i as u32;
         }
@@ -125,14 +137,24 @@ impl<S: OrderSeq> OrderCore<S> {
             let w = vstar[idx];
             let wi = w as usize;
             let mut dp = 0u32;
+            let mut m = 0u32;
             for i in 0..self.graph.degree(w) {
                 let z = self.graph.neighbors(w)[i];
                 let zi = z as usize;
                 let cz = self.core[zi];
-                // Level-K stayers that preceded w lose w from their deg⁺
-                // (w moves to O_{K−1}, i.e. in front of them).
-                if cz == k && self.seqs[k as usize].precedes(self.node[zi], self.node[wi]) {
-                    self.deg_plus[zi] -= 1;
+                // w's mcd at its new level counts neighbours with
+                // core >= k − 1.
+                if cz >= k - 1 {
+                    m += 1;
+                }
+                // Level-K stayers: they lose w from mcd (it drops below
+                // their level), and those that preceded w lose it from
+                // deg⁺ too (w moves to O_{K−1}, i.e. in front of them).
+                if cz == k {
+                    self.mcd[zi] -= 1;
+                    if self.seqs[k as usize].precedes(self.node[zi], self.node[wi]) {
+                        self.deg_plus[zi] -= 1;
+                    }
                     stats.refreshed += 1;
                 }
                 // w's own deg⁺: stayers at level >= K are all after the
@@ -143,30 +165,12 @@ impl<S: OrderSeq> OrderCore<S> {
                 }
             }
             self.deg_plus[wi] = dp;
+            self.mcd[wi] = m;
             // Move w: out of O_K, to the end of O_{K−1}.
             self.lists.remove(w);
             self.lists.push_back(k - 1, w);
             self.seqs[k as usize].remove(self.node[wi]);
             self.node[wi] = self.seqs[k as usize - 1].insert_last(w);
-        }
-
-        // ---- mcd repair ----
-        for idx in 0..vstar.len() {
-            let w = vstar[idx];
-            let mut m = 0u32;
-            for i in 0..self.graph.degree(w) {
-                let z = self.graph.neighbors(w)[i];
-                let zi = z as usize;
-                if self.core[zi] >= k - 1 {
-                    m += 1;
-                }
-                // Level-K stayers lose w (it dropped below them).
-                if self.core[zi] == k && self.queue_mark[zi] != epoch {
-                    self.mcd[zi] -= 1;
-                    stats.refreshed += 1;
-                }
-            }
-            self.mcd[w as usize] = m;
         }
 
         self.bump_seq_version(k);

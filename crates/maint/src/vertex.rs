@@ -101,7 +101,9 @@ impl<S: OrderSeq> OrderCore<S> {
 
         let threshold = (self.graph.num_edges() as f64 * rebuild_fraction) as usize;
         if ops.len() > threshold.max(1) {
-            // Bulk path: mutate the graph, rebuild once.
+            // Bulk path: mutate the graph, rebuild once. Removals leave
+            // arena holes; one compaction check per batch before the
+            // rebuild's decomposition scans the adjacency heavily.
             let before = self.core.clone();
             for &op in ops {
                 match op {
@@ -109,6 +111,8 @@ impl<S: OrderSeq> OrderCore<S> {
                     BatchOp::Remove(u, v) => self.graph.remove_edge(u, v).expect("validated above"),
                 }
             }
+            self.graph
+                .maintain_adjacency(kcore_graph::DEFAULT_MAX_HOLE_RATIO);
             self.rebuild();
             let changed = before
                 .iter()

@@ -4,7 +4,7 @@
 
 use kcore_decomp::Heuristic;
 use kcore_graph::DynamicGraph;
-use kcore_maint::{BatchOp, OrderCore, TreapOrderCore};
+use kcore_maint::{BatchOp, CoreMaintainer, OrderCore, RecomputeCore, TreapOrderCore};
 use proptest::prelude::*;
 
 fn arb_graph(n: u32, max_edges: usize) -> impl Strategy<Value = DynamicGraph> {
@@ -155,6 +155,79 @@ proptest! {
             &kcore_decomp::core_decomposition(batched.graph())[..]
         );
         batched.validate();
+    }
+
+    /// The merged multi-seed removal pass on a batch built mostly from
+    /// *live* edges — so the dismissal passes really fire — with the dirt
+    /// the skip contract covers: every live edge listed twice (removed
+    /// twice in one batch), plus self loops and out-of-range endpoints.
+    /// Must equal sequential removal and a from-scratch decomposition.
+    #[test]
+    fn remove_edges_dirty_live_batches(
+        g in arb_graph(14, 70),
+        step in 1usize..4,
+        salt in prop::collection::vec((0u32..18, 0u32..18), 0..10),
+        seed in any::<u64>(),
+    ) {
+        let mut batch: Vec<(u32, u32)> = Vec::new();
+        for (i, e) in g.edge_vec().into_iter().enumerate() {
+            if i % step == 0 {
+                batch.push(e);
+                batch.push((e.1, e.0)); // same edge again, flipped
+            }
+        }
+        for (i, &(a, b)) in salt.iter().enumerate() {
+            batch.insert((i * 7) % (batch.len() + 1), (a, b));
+            batch.push((a, a)); // self loop
+        }
+
+        let mut batched = TreapOrderCore::new(g.clone(), seed);
+        let stats = batched.remove_edges(&batch);
+
+        let mut seq = TreapOrderCore::new(g, seed);
+        let mut applied = 0usize;
+        for &(u, v) in &batch {
+            if seq.remove_edge(u, v).is_ok() {
+                applied += 1;
+            }
+        }
+        prop_assert_eq!(stats.skipped, batch.len() - applied);
+        prop_assert_eq!(batched.cores(), seq.cores());
+        prop_assert_eq!(
+            batched.cores(),
+            &kcore_decomp::core_decomposition(batched.graph())[..]
+        );
+        batched.validate();
+    }
+
+    /// A churn stream (interleaved insert/remove micro-batches) driven
+    /// through the `CoreMaintainer` batch entry points must match the
+    /// recompute oracle after every batch, and no generated op may be
+    /// skipped as invalid.
+    #[test]
+    fn churn_stream_through_core_maintainer(
+        g in arb_graph(24, 90),
+        ins in 0usize..8,
+        rem in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut g = g;
+        if g.num_edges() == 0 {
+            g.insert_edge(0, 1).unwrap(); // churn needs a live edge
+        }
+        let stream = kcore_gen::churn_stream(&g, 6, ins, rem, seed);
+        let mut engine = TreapOrderCore::new(g.clone(), seed);
+        let mut oracle = RecomputeCore::new(g);
+        for b in &stream {
+            let si = engine.insert_batch(&b.inserts);
+            prop_assert_eq!(si.skipped, 0, "churn inserts are always fresh");
+            let sr = engine.remove_batch(&b.removes);
+            prop_assert_eq!(sr.skipped, 0, "churn removes are always live");
+            oracle.insert_batch(&b.inserts);
+            oracle.remove_batch(&b.removes);
+            prop_assert_eq!(engine.cores(), oracle.core_slice());
+        }
+        engine.validate();
     }
 
     /// Batch application (either path) equals sequential application.

@@ -21,6 +21,16 @@ pub struct UpdateStats {
     /// edges, out-of-range endpoints). Always 0 for single-edge updates,
     /// which report such edges as errors instead.
     pub skipped: usize,
+    /// Promotion/dismissal passes run over the k-order. Single-edge
+    /// order-based updates pay one pass per removal (and one per
+    /// insertion that survives the Lemma 5.2 short-circuit); the batched
+    /// engine runs **at most one per affected level**, which is what
+    /// tests assert through this counter. Traversal engines leave it 0
+    /// (they have no pass notion).
+    pub passes: usize,
+    /// Seeds handed to those passes in total. `merged_seeds / passes > 1`
+    /// is the batching win: several violating roots resolved by one walk.
+    pub merged_seeds: usize,
 }
 
 impl UpdateStats {
@@ -31,6 +41,8 @@ impl UpdateStats {
         self.refreshed += other.refreshed;
         self.noop += other.noop;
         self.skipped += other.skipped;
+        self.passes += other.passes;
+        self.merged_seeds += other.merged_seeds;
     }
 }
 
@@ -302,6 +314,8 @@ impl TraversalCore {
             return Err(EdgeListError::Missing(u, v));
         }
         self.graph.remove_edge(u, v).expect("edge present");
+        self.graph
+            .maintain_adjacency(kcore_graph::DEFAULT_MAX_HOLE_RATIO);
         let mut stats = UpdateStats::default();
 
         // Keep mcd coherent for the peeling seeds below (Algorithm 4

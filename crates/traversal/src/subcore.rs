@@ -184,6 +184,8 @@ impl SubCoreAlgo {
             return Err(EdgeListError::Missing(u, v));
         }
         self.graph.remove_edge(u, v).expect("edge present");
+        self.graph
+            .maintain_adjacency(kcore_graph::DEFAULT_MAX_HOLE_RATIO);
         let mut stats = UpdateStats::default();
 
         let k = self.core[u as usize].min(self.core[v as usize]);
