@@ -26,7 +26,7 @@ pub fn core_decomposition(g: &DynamicGraph) -> Vec<u32> {
     // deg holds current (remaining) degrees; it doubles as the output,
     // because when a vertex is peeled its core number equals the peeling
     // threshold, and the threshold equals its clamped remaining degree.
-    let mut deg: Vec<u32> = (0..n).map(|v| g.degree(v as VertexId) as u32).collect();
+    let mut deg: Vec<u32> = g.degree_vec();
 
     // Bin sort: bin[d] = first index in `vert` of the block of degree d.
     let mut bin = vec![0u32; max_deg + 2];
@@ -85,8 +85,9 @@ pub fn core_decomposition_csr(g: &CsrGraph) -> Vec<u32> {
     if n == 0 {
         return Vec::new();
     }
-    let max_deg = (0..n as VertexId).map(|v| g.degree(v)).max().unwrap_or(0);
-    let mut deg: Vec<u32> = (0..n).map(|v| g.degree(v as VertexId) as u32).collect();
+    // Cached at freeze time — no O(n) rescan per decomposition.
+    let max_deg = g.max_degree();
+    let mut deg: Vec<u32> = g.degree_vec();
     let mut bin = vec![0u32; max_deg + 2];
     for &d in &deg {
         bin[d as usize + 1] += 1;

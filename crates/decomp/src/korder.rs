@@ -180,6 +180,79 @@ impl Pool {
 /// assert!(ko.deg_plus.iter().all(|&d| d <= 2)); // Lemma 5.1
 /// ```
 pub fn korder_decomposition(g: &DynamicGraph, heuristic: Heuristic, seed: u64) -> KOrder {
+    let (core, order) = peel_order(g, heuristic, seed);
+    let deg_plus = deg_plus_of_order(g, &order, &crate::par::Parallelism::exact(1));
+    KOrder {
+        core,
+        order,
+        deg_plus,
+    }
+}
+
+/// [`korder_decomposition`] with the embarrassingly parallel phases run on
+/// the [`crate::par`] worker team: the final `deg⁺` recomputation (an
+/// `O(m)` neighbour scan, the only phase that touches every edge *after*
+/// the peel) is chunked across threads.
+///
+/// The victim-selection loop itself stays sequential **on purpose**: the
+/// emitted k-order's tie-breaks depend on the exact global event order in
+/// which vertices cross the round threshold (the waiting-bucket drains
+/// interleave across levels), so any concurrent victim pool would produce
+/// a different — still valid, but not reproducible — order. Keeping it
+/// serial preserves the deterministic tie-break order: the returned
+/// `order` is **bit-identical** to [`korder_decomposition`] at every
+/// thread count (unit-tested below), which downstream index builds rely
+/// on for reproducibility.
+pub fn korder_decomposition_par(
+    g: &DynamicGraph,
+    heuristic: Heuristic,
+    seed: u64,
+    par: &crate::par::Parallelism,
+) -> KOrder {
+    let (core, order) = peel_order(g, heuristic, seed);
+    let deg_plus = deg_plus_of_order(g, &order, par);
+    KOrder {
+        core,
+        order,
+        deg_plus,
+    }
+}
+
+/// `deg⁺` from final positions: neighbours occurring later in the order.
+/// Chunked over the vertex range when `par` resolves to several workers.
+fn deg_plus_of_order(
+    g: &DynamicGraph,
+    order: &[VertexId],
+    par: &crate::par::Parallelism,
+) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut pos = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i as u32;
+    }
+    let threads = par.resolved_threads();
+    let chunks = crate::par::run_ranges(threads, n, par.sequential_cutoff, |_, range| {
+        range
+            .map(|v| {
+                let pv = pos[v];
+                g.neighbors(v as u32)
+                    .iter()
+                    .filter(|&&w| pos[w as usize] > pv)
+                    .count() as u32
+            })
+            .collect::<Vec<u32>>()
+    });
+    let mut deg_plus = Vec::with_capacity(n);
+    for c in chunks {
+        deg_plus.extend_from_slice(&c);
+    }
+    deg_plus
+}
+
+/// The sequential victim loop of Algorithm 1: core numbers plus the
+/// deterministic peel order (shared by the sequential and phase-parallel
+/// entry points).
+fn peel_order(g: &DynamicGraph, heuristic: Heuristic, seed: u64) -> (Vec<u32>, Vec<VertexId>) {
     let n = g.num_vertices();
     let mut rdeg: Vec<u32> = (0..n).map(|v| g.degree(v as VertexId) as u32).collect();
     let mut removed = vec![false; n];
@@ -236,26 +309,7 @@ pub fn korder_decomposition(g: &DynamicGraph, heuristic: Heuristic, seed: u64) -
         k += 1;
     }
 
-    // deg⁺ from final positions: neighbours occurring later in the order.
-    let mut pos = vec![0u32; n];
-    for (i, &v) in order.iter().enumerate() {
-        pos[v as usize] = i as u32;
-    }
-    let mut deg_plus = vec![0u32; n];
-    for v in 0..n as u32 {
-        let pv = pos[v as usize];
-        deg_plus[v as usize] = g
-            .neighbors(v)
-            .iter()
-            .filter(|&&w| pos[w as usize] > pv)
-            .count() as u32;
-    }
-
-    KOrder {
-        core,
-        order,
-        deg_plus,
-    }
+    (core, order)
 }
 
 #[cfg(test)]
@@ -337,6 +391,29 @@ mod tests {
         let pos = ko.positions();
         for (i, &v) in ko.order.iter().enumerate() {
             assert_eq!(pos[v as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    fn phase_parallel_korder_is_bit_identical() {
+        use crate::par::Parallelism;
+        let graphs = [
+            fixtures::PaperGraph::small().graph,
+            fixtures::petersen(),
+            fixtures::two_cliques_bridge(),
+            DynamicGraph::with_vertices(4),
+        ];
+        for g in &graphs {
+            for h in Heuristic::ALL {
+                let seq = korder_decomposition(g, h, 13);
+                for t in [1usize, 2, 4] {
+                    let par =
+                        korder_decomposition_par(g, h, 13, &Parallelism::exact(t).with_cutoff(0));
+                    assert_eq!(par.order, seq.order, "{h:?} order diverged at {t} threads");
+                    assert_eq!(par.core, seq.core);
+                    assert_eq!(par.deg_plus, seq.deg_plus);
+                }
+            }
         }
     }
 

@@ -4,6 +4,10 @@
 //!
 //! * [`bucket`] — the Batagelj–Zaversnik `O(m + n)` core decomposition
 //!   (`CoreDecomp`, Algorithm 1 of the paper);
+//! * [`par`] — the level-synchronous **parallel** peel
+//!   (`par_core_decomposition{,_csr}`) with atomic degree counters and a
+//!   scoped worker team, bit-identical to the sequential decomposition
+//!   at every thread count;
 //! * [`korder`] — peeling that additionally emits a **k-order** and the
 //!   remaining degrees `deg⁺`, under the three victim-selection heuristics
 //!   of Section VI (*small deg⁺ first* — the paper's choice —, *large* and
@@ -16,9 +20,11 @@
 
 pub mod bucket;
 pub mod korder;
+pub mod par;
 pub mod regions;
 pub mod validate;
 
 pub use bucket::{core_decomposition, core_decomposition_csr, max_core};
-pub use korder::{korder_decomposition, Heuristic, KOrder};
+pub use korder::{korder_decomposition, korder_decomposition_par, Heuristic, KOrder};
+pub use par::{par_core_decomposition, par_core_decomposition_csr, Parallelism};
 pub use validate::{compute_mcd, compute_pcd, is_valid_korder};

@@ -5,9 +5,38 @@
 use kcore_decomp::bucket::{core_histogram, kcore_subgraph, kcore_vertices};
 use kcore_decomp::regions::{ordercore_sizes, purecore_sizes, subcore_sizes};
 use kcore_decomp::validate::{compute_cd_levels, compute_mcd, compute_pcd};
-use kcore_decomp::{core_decomposition, is_valid_korder, korder_decomposition, Heuristic};
-use kcore_graph::DynamicGraph;
+use kcore_decomp::{
+    core_decomposition, core_decomposition_csr, is_valid_korder, korder_decomposition,
+    korder_decomposition_par, par_core_decomposition, par_core_decomposition_csr, Heuristic,
+    Parallelism,
+};
+use kcore_graph::{CsrGraph, DynamicGraph};
 use proptest::prelude::*;
+
+/// Asserts the tentpole contract: the parallel peel (dynamic and CSR, at
+/// 1, 2 and 4 threads, cutoff 0 so the threads actually engage) is
+/// bit-identical to both sequential decompositions.
+fn assert_par_matches_sequential(g: &DynamicGraph) -> Result<(), TestCaseError> {
+    let reference = core_decomposition(g);
+    let csr = CsrGraph::from(g);
+    prop_assert_eq!(&core_decomposition_csr(&csr), &reference);
+    for t in [1usize, 2, 4] {
+        let par = Parallelism::exact(t).with_cutoff(0);
+        prop_assert_eq!(
+            &par_core_decomposition(g, &par),
+            &reference,
+            "dynamic peel diverged at {} threads",
+            t
+        );
+        prop_assert_eq!(
+            &par_core_decomposition_csr(&csr, &par),
+            &reference,
+            "csr peel diverged at {} threads",
+            t
+        );
+    }
+    Ok(())
+}
 
 fn arb_graph() -> impl Strategy<Value = DynamicGraph> {
     (
@@ -70,6 +99,45 @@ proptest! {
             let ko = korder_decomposition(&g, h, seed);
             if let Err(e) = is_valid_korder(&g, &ko) {
                 prop_assert!(false, "{h:?}: {e}");
+            }
+        }
+    }
+
+    /// The parallel peel equals the sequential decompositions on random
+    /// edge soups — `arb_graph` routinely yields isolated vertices and
+    /// several components, the cases a frontier seeding bug would miss.
+    #[test]
+    fn parallel_peel_matches_sequential(g in arb_graph()) {
+        assert_par_matches_sequential(&g)?;
+    }
+
+    /// Same contract on the generator families the benchmarks use:
+    /// Barabási–Albert (power-law, low degeneracy) and G(n, m) (flat
+    /// degrees), again with forced multi-threading.
+    #[test]
+    fn parallel_peel_matches_sequential_on_generators(
+        n in 12usize..120,
+        attach in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let ba = kcore_gen::barabasi_albert(n, attach, seed);
+        assert_par_matches_sequential(&ba)?;
+        let gnm = kcore_gen::erdos_renyi_gnm(n, (n * attach) / 2, seed ^ 0x5EED);
+        assert_par_matches_sequential(&gnm)?;
+    }
+
+    /// Phase-parallel korder is bit-identical to the sequential build —
+    /// order, cores, and deg⁺ — for every heuristic and thread count.
+    #[test]
+    fn phase_parallel_korder_matches(g in arb_graph(), seed in any::<u64>()) {
+        for h in Heuristic::ALL {
+            let reference = korder_decomposition(&g, h, seed);
+            for t in [2usize, 4] {
+                let par = Parallelism::exact(t).with_cutoff(0);
+                let ko = korder_decomposition_par(&g, h, seed, &par);
+                prop_assert_eq!(&ko.order, &reference.order, "{:?} at {} threads", h, t);
+                prop_assert_eq!(&ko.core, &reference.core);
+                prop_assert_eq!(&ko.deg_plus, &reference.deg_plus);
             }
         }
     }

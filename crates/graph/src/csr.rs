@@ -15,6 +15,10 @@ use crate::graph::{DynamicGraph, VertexId};
 pub struct CsrGraph {
     offsets: Vec<u32>,
     targets: Vec<VertexId>,
+    /// Maximum degree, computed once at freeze time — consumers that
+    /// bucket by degree (every peeling decomposition) would otherwise
+    /// rescan all `n` offsets on each call.
+    max_degree: u32,
 }
 
 impl CsrGraph {
@@ -22,6 +26,19 @@ impl CsrGraph {
     #[inline]
     pub fn num_vertices(&self) -> usize {
         self.offsets.len() - 1
+    }
+
+    /// Maximum degree over all vertices (0 for an empty graph). Cached at
+    /// freeze time: `O(1)`.
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.max_degree as usize
+    }
+
+    /// Degrees of all vertices as a fresh `Vec` (the seed snapshot for
+    /// peeling decompositions and atomic degree views).
+    pub fn degree_vec(&self) -> Vec<u32> {
+        self.offsets.windows(2).map(|w| w[1] - w[0]).collect()
     }
 
     /// Number of undirected edges.
@@ -90,7 +107,12 @@ impl From<&DynamicGraph> for CsrGraph {
             let (s, e) = (offsets[v] as usize, offsets[v + 1] as usize);
             targets[s..e].sort_unstable();
         }
-        CsrGraph { offsets, targets }
+        let max_degree = offsets.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        CsrGraph {
+            offsets,
+            targets,
+            max_degree,
+        }
     }
 }
 
@@ -136,5 +158,23 @@ mod tests {
         assert_eq!(csr.num_edges(), 0);
         assert_eq!(csr.degree(1), 0);
         assert!(csr.neighbors(2).is_empty());
+        assert_eq!(csr.max_degree(), 0);
+        assert_eq!(CsrGraph::from(&DynamicGraph::new()).max_degree(), 0);
+    }
+
+    #[test]
+    fn max_degree_and_degree_vec_match_dynamic() {
+        let g = fixtures::PaperGraph::small().graph;
+        let csr = CsrGraph::from(&g);
+        assert_eq!(csr.max_degree(), g.max_degree());
+        let degs = csr.degree_vec();
+        assert_eq!(degs.len(), g.num_vertices());
+        for v in g.vertices() {
+            assert_eq!(degs[v as usize] as usize, g.degree(v));
+        }
+        assert_eq!(
+            degs.iter().copied().max().unwrap() as usize,
+            csr.max_degree()
+        );
     }
 }

@@ -270,6 +270,12 @@ impl DynamicGraph {
         self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
+    /// Degrees of all vertices as a fresh `Vec` (the seed snapshot for
+    /// peeling decompositions and atomic degree views).
+    pub fn degree_vec(&self) -> Vec<u32> {
+        self.vertices().map(|v| self.degree(v) as u32).collect()
+    }
+
     /// Average degree `2m / n` (0 for an empty graph).
     pub fn avg_degree(&self) -> f64 {
         if self.is_empty() {

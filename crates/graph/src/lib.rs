@@ -27,6 +27,7 @@
 //!   handful of tiny graphs shared by unit tests across the workspace.
 
 pub mod arena;
+pub mod atomic;
 pub mod csr;
 pub mod fixtures;
 pub mod graph;
@@ -35,6 +36,7 @@ pub mod io;
 pub mod stats;
 
 pub use arena::AdjArena;
+pub use atomic::AtomicDegrees;
 pub use csr::CsrGraph;
 pub use graph::{
     edge_key, key_edge, DynamicGraph, EdgeListError, VertexId, DEFAULT_MAX_HOLE_RATIO, NO_VERTEX,

@@ -40,6 +40,7 @@
 //! core value — property-tested in `tests/proptest_maint.rs` against both
 //! edge-at-a-time updates and a from-scratch decomposition.
 
+use crate::components::BatchOptions;
 use crate::order_core::OrderCore;
 use kcore_graph::{VertexId, DEFAULT_MAX_HOLE_RATIO};
 use kcore_order::OrderSeq;
@@ -50,7 +51,8 @@ impl<S: OrderSeq> OrderCore<S> {
     /// Invalid entries (self loops, duplicate edges — including
     /// duplicates within `edges` —, unknown endpoints) are skipped and
     /// counted in [`UpdateStats::skipped`]. Returns aggregate stats for
-    /// the whole batch.
+    /// the whole batch. Equivalent to [`OrderCore::insert_edges_with`]
+    /// under the default [`BatchOptions`] (merged per-level passes).
     ///
     /// Works in two phases. The **apply phase** admits every edge into
     /// the (pre-reserved) adjacency arena, updates `mcd`, and bumps the
@@ -63,6 +65,21 @@ impl<S: OrderSeq> OrderCore<S> {
     /// that still violate at the next level (a batch can raise a core by
     /// more than one) cascade upward until Lemma 5.1 holds everywhere.
     pub fn insert_edges(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateStats {
+        self.insert_edges_with(edges, &BatchOptions::default())
+    }
+
+    /// [`OrderCore::insert_edges`] with explicit [`BatchOptions`]. With
+    /// `split_components` set, each dirty level's seed pool is first
+    /// partitioned by connected component of the level-induced subgraph
+    /// ([`OrderCore::split_level_seeds`]) and one promotion pass runs per
+    /// component; per-pass [`UpdateStats`] counters are merged exactly,
+    /// so every total except `passes` (which then counts component
+    /// passes) is identical to the merged-pass configuration.
+    pub fn insert_edges_with(
+        &mut self,
+        edges: &[(VertexId, VertexId)],
+        opts: &BatchOptions,
+    ) -> UpdateStats {
         let mut stats = UpdateStats::default();
         if edges.is_empty() {
             return stats;
@@ -157,16 +174,26 @@ impl<S: OrderSeq> OrderCore<S> {
             );
             dirty.retain(|&v| self.core[v as usize] != k);
             let seed_batch = std::mem::take(&mut seeds);
-            self.promote_pass(&seed_batch, k, &mut stats);
-            seeds = seed_batch;
-            // A multi-seed pass can promote vertices that still violate
-            // at level k + 1: cascade them.
-            for i in 0..self.vstar.len() {
-                let w = self.vstar[i];
-                if self.deg_plus[w as usize] > self.core[w as usize] {
-                    dirty.push(w);
+            // Component splitting yields one independent pass per level-k
+            // component; `UpdateStats` counters are plain sums, so the
+            // group structure cannot skew any statistic.
+            let groups = if opts.split_components && seed_batch.len() > 1 {
+                self.split_level_seeds(&seed_batch, k)
+            } else {
+                Vec::new() // empty = one merged pass over seed_batch
+            };
+            for group in groups_or_merged(&groups, &seed_batch) {
+                self.promote_pass(group, k, &mut stats);
+                // A multi-seed pass can promote vertices that still
+                // violate at level k + 1: cascade them.
+                for i in 0..self.vstar.len() {
+                    let w = self.vstar[i];
+                    if self.deg_plus[w as usize] > self.core[w as usize] {
+                        dirty.push(w);
+                    }
                 }
             }
+            seeds = seed_batch;
         }
         stats
     }
@@ -191,6 +218,18 @@ impl<S: OrderSeq> OrderCore<S> {
     /// Adjacency-arena compaction is considered once per batch, between
     /// the two phases, never in the middle of the apply loop.
     pub fn remove_edges(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateStats {
+        self.remove_edges_with(edges, &BatchOptions::default())
+    }
+
+    /// [`OrderCore::remove_edges`] with explicit [`BatchOptions`]: the
+    /// dismissal mirror of [`OrderCore::insert_edges_with`] — with
+    /// `split_components`, one dismissal pass per level-`k` component of
+    /// the seed pool, exact counter merge.
+    pub fn remove_edges_with(
+        &mut self,
+        edges: &[(VertexId, VertexId)],
+        opts: &BatchOptions,
+    ) -> UpdateStats {
         let mut stats = UpdateStats::default();
         if edges.is_empty() {
             return stats;
@@ -271,18 +310,38 @@ impl<S: OrderSeq> OrderCore<S> {
             seeds.extend(pool.iter().copied().filter(|&x| self.core[x as usize] == k));
             pool.retain(|&x| self.core[x as usize] != k);
             let seed_batch = std::mem::take(&mut seeds);
-            self.dismiss_pass(&seed_batch, k, &mut stats);
-            seeds = seed_batch;
-            // Downward cascade: a vertex dismissed from level k whose mcd
-            // already violates at k − 1 re-seeds the k − 1 pass.
-            for i in 0..self.vstar.len() {
-                let w = self.vstar[i];
-                if self.mcd[w as usize] < self.core[w as usize] {
-                    pool.push(w);
+            let groups = if opts.split_components && seed_batch.len() > 1 {
+                self.split_level_seeds(&seed_batch, k)
+            } else {
+                Vec::new() // empty = one merged pass over seed_batch
+            };
+            for group in groups_or_merged(&groups, &seed_batch) {
+                self.dismiss_pass(group, k, &mut stats);
+                // Downward cascade: a vertex dismissed from level k whose
+                // mcd already violates at k − 1 re-seeds the k − 1 pass.
+                for i in 0..self.vstar.len() {
+                    let w = self.vstar[i];
+                    if self.mcd[w as usize] < self.core[w as usize] {
+                        pool.push(w);
+                    }
                 }
             }
+            seeds = seed_batch;
         }
         stats
+    }
+}
+
+/// Either the component groups or, when no split was computed, the whole
+/// seed pool as one merged group.
+fn groups_or_merged<'a>(
+    groups: &'a [Vec<VertexId>],
+    merged: &'a [VertexId],
+) -> Vec<&'a [VertexId]> {
+    if groups.is_empty() {
+        vec![merged]
+    } else {
+        groups.iter().map(Vec::as_slice).collect()
     }
 }
 
@@ -441,6 +500,83 @@ mod tests {
             after - before
         );
         oc.validate();
+    }
+
+    #[test]
+    fn component_split_stats_match_sequential_passes() {
+        // Multi-component fixture: one K5 island (core 4) and one K4
+        // island (core 3), no path between them. The batch seeds both
+        // islands — i.e. both levels, one component each — so the
+        // component-parallel engine must report *identical*
+        // `passes`/`merged_seeds` (and every other counter) to the
+        // sequential merged-pass engine.
+        let mut g = fixtures::clique(5);
+        for _ in 0..5 {
+            g.add_vertex();
+        }
+        for a in 5..9u32 {
+            for b in (a + 1)..9 {
+                g.insert_edge(a, b).unwrap();
+            }
+        }
+        // Fresh chords: vertex 9 wires into both islands, violating
+        // Lemma 5.1 at two different levels in one batch.
+        let batch: Vec<(u32, u32)> = vec![(9, 0), (9, 1), (9, 2), (9, 5), (9, 6), (9, 7)];
+
+        let mut split = TreapOrderCore::new(g.clone(), 3);
+        let split_stats = split.insert_edges_with(&batch, &crate::BatchOptions::component_split());
+        let mut merged = TreapOrderCore::new(g.clone(), 3);
+        let merged_stats = merged.insert_edges(&batch);
+        assert_eq!(split_stats.passes, merged_stats.passes);
+        assert_eq!(split_stats.merged_seeds, merged_stats.merged_seeds);
+        assert_eq!(split_stats, merged_stats, "insert stats must merge exactly");
+        assert_eq!(split.cores(), merged.cores());
+        split.validate();
+
+        // Removal mirror: tear the same chords back out.
+        let split_rm = split.remove_edges_with(&batch, &crate::BatchOptions::component_split());
+        let merged_rm = merged.remove_edges(&batch);
+        assert_eq!(split_rm.passes, merged_rm.passes);
+        assert_eq!(split_rm.merged_seeds, merged_rm.merged_seeds);
+        assert_eq!(split_rm, merged_rm, "removal stats must merge exactly");
+        assert_eq!(split.cores(), merged.cores());
+        split.validate();
+    }
+
+    #[test]
+    fn component_split_runs_independent_passes_per_island() {
+        // When two seed components share a level, the split engine runs
+        // one pass per component (passes grows by the component count)
+        // while every other counter — and the resulting cores — matches
+        // the merged engine exactly.
+        let mut g = fixtures::clique(4);
+        for _ in 0..4 {
+            g.add_vertex();
+        }
+        for a in 4..8u32 {
+            for b in (a + 1)..8 {
+                g.insert_edge(a, b).unwrap();
+            }
+        }
+        // One violating chord per island, both at level 3.
+        let mut ga = g.clone();
+        ga.add_vertex();
+        ga.add_vertex();
+        let batch: Vec<(u32, u32)> = vec![(8, 0), (8, 1), (8, 2), (9, 4), (9, 5), (9, 6)];
+
+        let mut split = TreapOrderCore::new(ga.clone(), 3);
+        let split_stats = split.insert_edges_with(&batch, &crate::BatchOptions::component_split());
+        let mut merged = TreapOrderCore::new(ga, 3);
+        let merged_stats = merged.insert_edges(&batch);
+        assert_eq!(split.cores(), merged.cores());
+        assert_eq!(split_stats.merged_seeds, merged_stats.merged_seeds);
+        assert_eq!(split_stats.changed, merged_stats.changed);
+        assert_eq!(split_stats.noop, merged_stats.noop);
+        assert!(
+            split_stats.passes >= merged_stats.passes,
+            "independent component passes cannot be fewer than merged ones"
+        );
+        split.validate();
     }
 
     #[test]

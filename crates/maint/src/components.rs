@@ -1,0 +1,195 @@
+//! Component splitting of per-level seed pools for the batch engine.
+//!
+//! A promotion or dismissal pass at level `k` propagates exclusively
+//! through level-`k` vertices: candidates grant `deg*` to same-core
+//! neighbours, demotion cascades walk same-core neighbours, and the
+//! dismissal peel expands only into `core = k` vertices. Two seeds that
+//! are not connected inside the level-`k` induced subgraph therefore
+//! drive passes over **disjoint** state — independent units of work.
+//!
+//! [`OrderCore::split_level_seeds`] discovers that independence with a
+//! union-find over the seed-touched subgraph (path-compressed, grown
+//! lazily from a BFS that never leaves level `k`), and the
+//! `*_edges_with` batch entry points run one pass per component,
+//! merging each pass's [`UpdateStats`](kcore_traversal::UpdateStats)
+//! counters exactly (`absorb` is a plain sum, so totals are identical
+//! whatever order — or worker — executes the component passes).
+//!
+//! Component passes currently execute sequentially in deterministic
+//! component order on the calling thread: the per-level order structures
+//! `A_k` are shared across components, so handing the passes to the
+//! `kcore-decomp` worker team needs the order layer sharded first (see
+//! the ROADMAP sharding item). The split already buys determinism,
+//! bounded pass state, and the seam that sharded execution will plug
+//! into.
+
+use crate::order_core::OrderCore;
+use kcore_graph::{FxHashMap, VertexId};
+use kcore_order::OrderSeq;
+
+/// Options for the batched update entry points
+/// ([`OrderCore::insert_edges_with`], [`OrderCore::remove_edges_with`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchOptions {
+    /// Split each level's seed pool by connected component of the
+    /// level-induced subgraph and run one (independent) pass per
+    /// component instead of one merged pass per level.
+    pub split_components: bool,
+}
+
+impl BatchOptions {
+    /// The component-splitting configuration.
+    pub fn component_split() -> Self {
+        BatchOptions {
+            split_components: true,
+        }
+    }
+}
+
+/// Lazily-indexed union-find over the vertices a BFS touches (the full
+/// vertex range never materialises — seed-touched subgraphs are usually
+/// tiny compared to `n`).
+struct SeedUnionFind {
+    index: FxHashMap<VertexId, u32>,
+    parent: Vec<u32>,
+}
+
+impl SeedUnionFind {
+    fn new() -> Self {
+        SeedUnionFind {
+            index: FxHashMap::default(),
+            parent: Vec::new(),
+        }
+    }
+
+    /// Slot of `v`, allocating a fresh singleton on first sight. Returns
+    /// `(slot, first_sight)`.
+    fn slot(&mut self, v: VertexId) -> (u32, bool) {
+        if let Some(&i) = self.index.get(&v) {
+            return (i, false);
+        }
+        let i = self.parent.len() as u32;
+        self.index.insert(v, i);
+        self.parent.push(i);
+        (i, true)
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let up = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = up;
+            x = up;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+impl<S: OrderSeq> OrderCore<S> {
+    /// Partitions `seeds` (all at level `k`) into groups whose promotion /
+    /// dismissal passes cannot interact: two seeds share a group iff they
+    /// are connected in the subgraph induced by `core = k` vertices,
+    /// discovered by BFS from the seeds (the "seed-touched subgraph" —
+    /// vertices of other levels are never entered). Groups preserve the
+    /// seeds' input order and groups are ordered by first seed occurrence,
+    /// so the partition — and every downstream counter — is deterministic.
+    pub(crate) fn split_level_seeds(&self, seeds: &[VertexId], k: u32) -> Vec<Vec<VertexId>> {
+        debug_assert!(seeds.iter().all(|&s| self.core[s as usize] == k));
+        if seeds.len() <= 1 {
+            return vec![seeds.to_vec()];
+        }
+        let mut uf = SeedUnionFind::new();
+        let mut queue: Vec<VertexId> = Vec::new();
+        for &s in seeds {
+            let (_, fresh) = uf.slot(s);
+            if !fresh {
+                continue; // already reached from an earlier seed's BFS
+            }
+            // BFS over the level-k subgraph, unioning as we go. Vertices
+            // first seen here are enqueued exactly once.
+            queue.clear();
+            queue.push(s);
+            let mut qi = 0;
+            while qi < queue.len() {
+                let w = queue[qi];
+                qi += 1;
+                let (ws, _) = uf.slot(w);
+                for &z in self.graph.neighbors(w) {
+                    if self.core[z as usize] != k {
+                        continue;
+                    }
+                    let (zs, fresh_z) = uf.slot(z);
+                    uf.union(ws, zs);
+                    if fresh_z {
+                        queue.push(z);
+                    }
+                }
+            }
+        }
+        // Bucket seeds by root, keeping first-occurrence order.
+        let mut root_group: FxHashMap<u32, usize> = FxHashMap::default();
+        let mut groups: Vec<Vec<VertexId>> = Vec::new();
+        for &s in seeds {
+            let (slot, _) = uf.slot(s);
+            let root = uf.find(slot);
+            let gi = *root_group.entry(root).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[gi].push(s);
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TreapOrderCore;
+    use kcore_graph::DynamicGraph;
+
+    /// Two disjoint cliques with an extra path dangling off the first.
+    fn two_islands() -> DynamicGraph {
+        let mut g = DynamicGraph::with_vertices(12);
+        for a in 0..4u32 {
+            for b in (a + 1)..4 {
+                g.insert_edge(a, b).unwrap();
+            }
+        }
+        for a in 6..10u32 {
+            for b in (a + 1)..10 {
+                g.insert_edge(a, b).unwrap();
+            }
+        }
+        g.insert_edge(3, 10).unwrap();
+        g.insert_edge(10, 11).unwrap();
+        g
+    }
+
+    #[test]
+    fn seeds_split_by_level_component() {
+        let oc = TreapOrderCore::new(two_islands(), 3);
+        // Both cliques sit at core 3; they are disconnected within the
+        // level-3 subgraph (the bridge path has core 1).
+        assert_eq!(oc.core(0), 3);
+        assert_eq!(oc.core(6), 3);
+        let groups = oc.split_level_seeds(&[0, 6, 2], 3);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], vec![0, 2]); // first-occurrence order kept
+        assert_eq!(groups[1], vec![6]);
+    }
+
+    #[test]
+    fn connected_seeds_stay_merged() {
+        let oc = TreapOrderCore::new(two_islands(), 3);
+        let groups = oc.split_level_seeds(&[0, 3], 3);
+        assert_eq!(groups, vec![vec![0, 3]]);
+        let single = oc.split_level_seeds(&[6], 3);
+        assert_eq!(single, vec![vec![6]]);
+    }
+}

@@ -30,6 +30,7 @@
 //! baseline and a naive recompute baseline for the benchmark harness.
 
 pub mod batch;
+pub mod components;
 pub mod journal;
 pub mod maintainer;
 pub mod order_core;
@@ -40,6 +41,7 @@ pub mod vertex;
 mod insert;
 mod remove;
 
+pub use components::BatchOptions;
 pub use kcore_traversal::UpdateStats;
 pub use maintainer::{CoreMaintainer, RecomputeCore};
 pub use order_core::OrderCore;

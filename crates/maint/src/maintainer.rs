@@ -148,20 +148,44 @@ impl CoreMaintainer for SubCoreAlgo {
 /// The naive baseline: rerun the `O(m + n)` decomposition after every
 /// update. Correct by construction; used as the ground-truth oracle and as
 /// the "no index" row in benchmarks.
+///
+/// With [`RecomputeCore::new_parallel`] the recomputation runs the
+/// level-synchronous parallel peel — the multi-core fallback the batch
+/// benchmarks show overtaking the maintenance path once batches approach
+/// the graph size (`BENCH_batch.json` `ratio_vs_recompute`).
 pub struct RecomputeCore {
     graph: DynamicGraph,
     core: Vec<u32>,
+    par: Option<kcore_decomp::Parallelism>,
 }
 
 impl RecomputeCore {
     /// Builds the baseline (one decomposition).
     pub fn new(graph: DynamicGraph) -> Self {
         let core = core_decomposition(&graph);
-        RecomputeCore { graph, core }
+        RecomputeCore {
+            graph,
+            core,
+            par: None,
+        }
+    }
+
+    /// Builds the baseline with every recomputation running the parallel
+    /// peel under `par` (identical core numbers, more cores).
+    pub fn new_parallel(graph: DynamicGraph, par: kcore_decomp::Parallelism) -> Self {
+        let core = kcore_decomp::par_core_decomposition(&graph, &par);
+        RecomputeCore {
+            graph,
+            core,
+            par: Some(par),
+        }
     }
 
     fn recompute(&mut self) -> UpdateStats {
-        let new = core_decomposition(&self.graph);
+        let new = match &self.par {
+            Some(par) => kcore_decomp::par_core_decomposition(&self.graph, par),
+            None => core_decomposition(&self.graph),
+        };
         let changed = new
             .iter()
             .zip(self.core.iter())
@@ -180,6 +204,41 @@ impl CoreMaintainer for RecomputeCore {
     fn insert(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
         self.graph.insert_edge(u, v)?;
         Ok(self.recompute())
+    }
+
+    /// The genuine recompute batch path: apply every valid edge, then
+    /// decompose **once** — the fallback the batch benchmarks compare
+    /// the maintenance engines against.
+    fn insert_batch(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateStats {
+        let mut stats = UpdateStats::default();
+        let mut applied = false;
+        for &(u, v) in edges {
+            match self.graph.insert_edge(u, v) {
+                Ok(()) => applied = true,
+                Err(_) => stats.skipped += 1,
+            }
+        }
+        if applied {
+            stats.absorb(self.recompute());
+        }
+        stats
+    }
+
+    fn remove_batch(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateStats {
+        let mut stats = UpdateStats::default();
+        let mut applied = false;
+        for &(u, v) in edges {
+            match self.graph.remove_edge(u, v) {
+                Ok(()) => applied = true,
+                Err(_) => stats.skipped += 1,
+            }
+        }
+        if applied {
+            self.graph
+                .maintain_adjacency(kcore_graph::DEFAULT_MAX_HOLE_RATIO);
+            stats.absorb(self.recompute());
+        }
+        stats
     }
 
     fn remove(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
