@@ -249,6 +249,107 @@ fn deg_plus_of_order(
     deg_plus
 }
 
+/// Builds a k-order from **already computed** core numbers — the
+/// recompute→k-order bridge. After `core_decomposition` (or the parallel
+/// peel) has refreshed the cores, this emits a valid k-order in
+/// `O(m + n)` without paying the victim-selection machinery of
+/// [`korder_decomposition`] again: the adaptive planner's recompute
+/// fallback uses it to restore the order index, and the persistence layer
+/// could bulk-load through it.
+///
+/// The order is produced by a *constrained* peel: levels ascend, and
+/// within level `k` a FIFO of core-`k` vertices whose remaining degree
+/// has dropped to `<= k` is drained. Every emitted vertex therefore
+/// satisfies the Algorithm 1 eligibility rule at its own level, so
+/// Lemma 5.1 (`deg⁺(v) <= core(v)`) holds along the order by
+/// construction — [`crate::validate::is_valid_korder`] accepts the
+/// result (property-tested).
+///
+/// `core` **must** be the exact core numbers of `g`; the constrained peel
+/// stalls otherwise and the function panics rather than emit a corrupt
+/// order.
+pub fn korder_from_cores(g: &DynamicGraph, core: &[u32]) -> KOrder {
+    korder_from_cores_par(g, core, &crate::par::Parallelism::exact(1))
+}
+
+/// [`korder_from_cores`] with the `deg⁺` finalisation chunked over the
+/// [`crate::par`] worker team (the peel itself is `O(m + n)` and stays
+/// sequential; its emitted order is identical at every thread count).
+pub fn korder_from_cores_par(
+    g: &DynamicGraph,
+    core: &[u32],
+    par: &crate::par::Parallelism,
+) -> KOrder {
+    let n = g.num_vertices();
+    assert_eq!(core.len(), n, "core slice must cover every vertex");
+    let mut rdeg: Vec<u32> = (0..n).map(|v| g.degree(v as VertexId) as u32).collect();
+    let max_k = core.iter().copied().max().unwrap_or(0);
+    // Bucket vertices by core value (counting sort keeps ids ascending
+    // within a level, so the emitted order is deterministic).
+    let mut level_start = vec![0u32; max_k as usize + 2];
+    for &c in core {
+        level_start[c as usize + 1] += 1;
+    }
+    for k in 1..level_start.len() {
+        level_start[k] += level_start[k - 1];
+    }
+    let mut by_core = vec![0u32; n];
+    {
+        let mut next = level_start.clone();
+        for (v, &c) in core.iter().enumerate() {
+            by_core[next[c as usize] as usize] = v as u32;
+            next[c as usize] += 1;
+        }
+    }
+
+    let mut queued = vec![false; n];
+    let mut peeled = vec![false; n];
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut queue: Vec<VertexId> = Vec::new();
+    for k in 0..=max_k {
+        // Seed: level-k vertices already at or under the threshold.
+        queue.clear();
+        let (lo, hi) = (level_start[k as usize], level_start[k as usize + 1]);
+        for &v in &by_core[lo as usize..hi as usize] {
+            if rdeg[v as usize] <= k {
+                queued[v as usize] = true;
+                queue.push(v);
+            }
+        }
+        let mut qi = 0;
+        while qi < queue.len() {
+            let v = queue[qi];
+            qi += 1;
+            peeled[v as usize] = true;
+            order.push(v);
+            for &w in g.neighbors(v) {
+                let wi = w as usize;
+                if peeled[wi] {
+                    continue;
+                }
+                rdeg[wi] -= 1;
+                if !queued[wi] && core[wi] == k && rdeg[wi] <= k {
+                    queued[wi] = true;
+                    queue.push(w);
+                }
+            }
+        }
+        assert_eq!(
+            queue.len() as u32,
+            hi - lo,
+            "core numbers do not match the graph (level {k} stalled)"
+        );
+    }
+    debug_assert_eq!(order.len(), n);
+
+    let deg_plus = deg_plus_of_order(g, &order, par);
+    KOrder {
+        core: core.to_vec(),
+        order,
+        deg_plus,
+    }
+}
+
 /// The sequential victim loop of Algorithm 1: core numbers plus the
 /// deterministic peel order (shared by the sequential and phase-parallel
 /// entry points).
@@ -415,6 +516,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn korder_from_cores_is_valid_on_fixtures() {
+        for g in [
+            fixtures::triangle(),
+            fixtures::path(6),
+            fixtures::star(5),
+            fixtures::petersen(),
+            fixtures::two_cliques_bridge(),
+            fixtures::complete_bipartite(3, 4),
+            fixtures::PaperGraph::small().graph,
+            DynamicGraph::with_vertices(3),
+            DynamicGraph::new(),
+        ] {
+            let core = core_decomposition(&g);
+            let ko = korder_from_cores(&g, &core);
+            assert_eq!(ko.core, core, "bridge must preserve the given cores");
+            is_valid_korder(&g, &ko).unwrap();
+        }
+    }
+
+    #[test]
+    fn korder_from_cores_matches_par_finalisation() {
+        use crate::par::Parallelism;
+        let g = fixtures::PaperGraph::small().graph;
+        let core = core_decomposition(&g);
+        let seq = korder_from_cores(&g, &core);
+        for t in [2usize, 4] {
+            let par = korder_from_cores_par(&g, &core, &Parallelism::exact(t).with_cutoff(0));
+            assert_eq!(par.order, seq.order, "peel must be thread-independent");
+            assert_eq!(par.deg_plus, seq.deg_plus);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stalled")]
+    fn korder_from_cores_rejects_wrong_cores() {
+        let g = fixtures::triangle();
+        // Claiming core 1 for a triangle stalls the constrained peel:
+        // every remaining degree is 2, so nothing is eligible at level 1.
+        korder_from_cores(&g, &[1, 1, 1]);
     }
 
     #[test]

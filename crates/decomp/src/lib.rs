@@ -25,6 +25,9 @@ pub mod regions;
 pub mod validate;
 
 pub use bucket::{core_decomposition, core_decomposition_csr, max_core};
-pub use korder::{korder_decomposition, korder_decomposition_par, Heuristic, KOrder};
+pub use korder::{
+    korder_decomposition, korder_decomposition_par, korder_from_cores, korder_from_cores_par,
+    Heuristic, KOrder,
+};
 pub use par::{par_core_decomposition, par_core_decomposition_csr, Parallelism};
 pub use validate::{compute_mcd, compute_pcd, is_valid_korder};

@@ -84,10 +84,28 @@ impl<S: OrderSeq> OrderCore<S> {
         if edges.is_empty() {
             return stats;
         }
+        self.insert_apply_phase(edges, &mut stats);
+        self.insert_pass_phase(opts, &mut stats);
+        stats
+    }
+
+    /// The apply phase of batched insertion (see
+    /// [`OrderCore::insert_edges`]): admits every valid edge against the
+    /// frozen k-order and collects the Lemma 5.1 violators into the
+    /// reusable `batch_seeds` scratch. Callers **must** follow up with
+    /// either [`OrderCore::insert_pass_phase`] or a recompute rebuild
+    /// (which supersedes the seeds) — the adaptive planner decides
+    /// between the two from the seed summary.
+    pub(crate) fn insert_apply_phase(
+        &mut self,
+        edges: &[(VertexId, VertexId)],
+        stats: &mut UpdateStats,
+    ) {
         let n = self.graph.num_vertices() as VertexId;
 
-        // Range/self-loop filter.
-        let mut batch: Vec<(VertexId, VertexId)> = Vec::with_capacity(edges.len());
+        // Range/self-loop filter, into the reusable edge scratch.
+        let mut batch = std::mem::take(&mut self.edge_scratch);
+        batch.clear();
         for &(u, v) in edges {
             if u == v || u >= n || v >= n {
                 stats.skipped += 1;
@@ -98,7 +116,8 @@ impl<S: OrderSeq> OrderCore<S> {
 
         // Pre-reserve adjacency slots from the batch's per-vertex degree
         // deltas (duplicates overcount slightly — harmless headroom).
-        let mut endpoints: Vec<VertexId> = Vec::with_capacity(batch.len() * 2);
+        let mut endpoints = std::mem::take(&mut self.endpoint_scratch);
+        endpoints.clear();
         for &(u, v) in &batch {
             endpoints.push(u);
             endpoints.push(v);
@@ -114,10 +133,11 @@ impl<S: OrderSeq> OrderCore<S> {
             self.graph.reserve_neighbors(v, j - i);
             i = j;
         }
+        self.endpoint_scratch = endpoints;
 
         // ---- apply phase (k-order frozen; rank cache fully valid) ----
         let dirty_epoch = self.bump_epoch();
-        let mut dirty: Vec<VertexId> = Vec::new();
+        self.batch_seeds.clear();
         for &(u, v) in &batch {
             if self.graph.has_edge(u, v) {
                 stats.skipped += 1;
@@ -152,12 +172,18 @@ impl<S: OrderSeq> OrderCore<S> {
                 stats.noop += 1;
             } else if self.touch_mark[ri] != dirty_epoch {
                 self.touch_mark[ri] = dirty_epoch;
-                dirty.push(root);
+                self.batch_seeds.push(root);
             }
         }
+        self.edge_scratch = batch;
+    }
 
-        // ---- pass phase: one multi-seed pass per dirty level, ascending ----
-        let mut seeds: Vec<VertexId> = Vec::new();
+    /// The pass phase of batched insertion: one multi-seed promotion pass
+    /// per dirty level, ascending, consuming the seeds the apply phase
+    /// left in `batch_seeds`.
+    pub(crate) fn insert_pass_phase(&mut self, opts: &BatchOptions, stats: &mut UpdateStats) {
+        let mut dirty = std::mem::take(&mut self.batch_seeds);
+        let mut seeds = std::mem::take(&mut self.level_seeds);
         while !dirty.is_empty() {
             // Drop roots a previous pass already resolved (demoted back
             // under the Lemma 5.1 budget, or promoted past the violation).
@@ -173,29 +199,43 @@ impl<S: OrderSeq> OrderCore<S> {
                     .filter(|&v| self.core[v as usize] == k),
             );
             dirty.retain(|&v| self.core[v as usize] != k);
-            let seed_batch = std::mem::take(&mut seeds);
             // Component splitting yields one independent pass per level-k
             // component; `UpdateStats` counters are plain sums, so the
             // group structure cannot skew any statistic.
-            let groups = if opts.split_components && seed_batch.len() > 1 {
-                self.split_level_seeds(&seed_batch, k)
-            } else {
-                Vec::new() // empty = one merged pass over seed_batch
-            };
-            for group in groups_or_merged(&groups, &seed_batch) {
-                self.promote_pass(group, k, &mut stats);
-                // A multi-seed pass can promote vertices that still
-                // violate at level k + 1: cascade them.
-                for i in 0..self.vstar.len() {
-                    let w = self.vstar[i];
-                    if self.deg_plus[w as usize] > self.core[w as usize] {
-                        dirty.push(w);
-                    }
+            if opts.split_components && seeds.len() > 1 {
+                let groups = self.split_level_seeds(&seeds, k);
+                for group in &groups {
+                    self.promote_group(group, k, stats, &mut dirty);
                 }
+            } else {
+                let group = std::mem::take(&mut seeds);
+                self.promote_group(&group, k, stats, &mut dirty);
+                seeds = group;
             }
-            seeds = seed_batch;
         }
-        stats
+        dirty.clear();
+        self.batch_seeds = dirty;
+        self.level_seeds = seeds;
+    }
+
+    /// One promotion pass over a seed group plus the upward cascade: a
+    /// multi-seed pass can promote vertices that still violate at level
+    /// `k + 1` (a batch may raise a core by more than one) — those
+    /// re-enter the dirty pool.
+    fn promote_group(
+        &mut self,
+        group: &[VertexId],
+        k: u32,
+        stats: &mut UpdateStats,
+        dirty: &mut Vec<VertexId>,
+    ) {
+        self.promote_pass(group, k, stats);
+        for i in 0..self.vstar.len() {
+            let w = self.vstar[i];
+            if self.deg_plus[w as usize] > self.core[w as usize] {
+                dirty.push(w);
+            }
+        }
     }
 
     /// Removes a batch of edges, updating core numbers and the k-order.
@@ -234,11 +274,26 @@ impl<S: OrderSeq> OrderCore<S> {
         if edges.is_empty() {
             return stats;
         }
+        self.remove_apply_phase(edges, &mut stats);
+        self.remove_pass_phase(opts, &mut stats);
+        stats
+    }
+
+    /// The apply phase of batched removal: deletes every valid edge and
+    /// repairs `mcd`/`deg⁺` against the frozen k-order, pooling
+    /// dismissible vertices into the reusable `batch_seeds` scratch, then
+    /// considers arena compaction once. Callers **must** follow up with
+    /// either [`OrderCore::remove_pass_phase`] or a recompute rebuild.
+    pub(crate) fn remove_apply_phase(
+        &mut self,
+        edges: &[(VertexId, VertexId)],
+        stats: &mut UpdateStats,
+    ) {
         let n = self.graph.num_vertices() as VertexId;
 
         // ---- apply phase (k-order frozen; rank cache fully valid) ----
         let dirty_epoch = self.bump_epoch();
-        let mut pool: Vec<VertexId> = Vec::new();
+        self.batch_seeds.clear();
         for &(u, v) in edges {
             if u == v || u >= n || v >= n {
                 stats.skipped += 1;
@@ -282,7 +337,7 @@ impl<S: OrderSeq> OrderCore<S> {
                     dirty = true;
                     if self.touch_mark[xi] != dirty_epoch {
                         self.touch_mark[xi] = dirty_epoch;
-                        pool.push(x);
+                        self.batch_seeds.push(x);
                     }
                 }
             }
@@ -296,9 +351,14 @@ impl<S: OrderSeq> OrderCore<S> {
         // One compaction opportunity per batch, before the passes rescan
         // the touched neighbourhoods with (ideally) tight-packed lists.
         self.graph.maintain_adjacency(DEFAULT_MAX_HOLE_RATIO);
+    }
 
-        // ---- pass phase: one multi-seed pass per level, descending ----
-        let mut seeds: Vec<VertexId> = Vec::new();
+    /// The pass phase of batched removal: one multi-seed dismissal pass
+    /// per affected level, descending, consuming the pool the apply phase
+    /// left in `batch_seeds`.
+    pub(crate) fn remove_pass_phase(&mut self, opts: &BatchOptions, stats: &mut UpdateStats) {
+        let mut pool = std::mem::take(&mut self.batch_seeds);
+        let mut seeds = std::mem::take(&mut self.level_seeds);
         while !pool.is_empty() {
             // Drop seeds a previous pass already resolved (peeled away as
             // a neighbour of another seed, restoring mcd >= core).
@@ -309,39 +369,39 @@ impl<S: OrderSeq> OrderCore<S> {
             seeds.clear();
             seeds.extend(pool.iter().copied().filter(|&x| self.core[x as usize] == k));
             pool.retain(|&x| self.core[x as usize] != k);
-            let seed_batch = std::mem::take(&mut seeds);
-            let groups = if opts.split_components && seed_batch.len() > 1 {
-                self.split_level_seeds(&seed_batch, k)
-            } else {
-                Vec::new() // empty = one merged pass over seed_batch
-            };
-            for group in groups_or_merged(&groups, &seed_batch) {
-                self.dismiss_pass(group, k, &mut stats);
-                // Downward cascade: a vertex dismissed from level k whose
-                // mcd already violates at k − 1 re-seeds the k − 1 pass.
-                for i in 0..self.vstar.len() {
-                    let w = self.vstar[i];
-                    if self.mcd[w as usize] < self.core[w as usize] {
-                        pool.push(w);
-                    }
+            if opts.split_components && seeds.len() > 1 {
+                let groups = self.split_level_seeds(&seeds, k);
+                for group in &groups {
+                    self.dismiss_group(group, k, stats, &mut pool);
                 }
+            } else {
+                let group = std::mem::take(&mut seeds);
+                self.dismiss_group(&group, k, stats, &mut pool);
+                seeds = group;
             }
-            seeds = seed_batch;
         }
-        stats
+        pool.clear();
+        self.batch_seeds = pool;
+        self.level_seeds = seeds;
     }
-}
 
-/// Either the component groups or, when no split was computed, the whole
-/// seed pool as one merged group.
-fn groups_or_merged<'a>(
-    groups: &'a [Vec<VertexId>],
-    merged: &'a [VertexId],
-) -> Vec<&'a [VertexId]> {
-    if groups.is_empty() {
-        vec![merged]
-    } else {
-        groups.iter().map(Vec::as_slice).collect()
+    /// One dismissal pass over a seed group plus the downward cascade: a
+    /// vertex dismissed from level `k` whose `mcd` already violates at
+    /// `k − 1` re-seeds the `k − 1` pass.
+    fn dismiss_group(
+        &mut self,
+        group: &[VertexId],
+        k: u32,
+        stats: &mut UpdateStats,
+        pool: &mut Vec<VertexId>,
+    ) {
+        self.dismiss_pass(group, k, stats);
+        for i in 0..self.vstar.len() {
+            let w = self.vstar[i];
+            if self.mcd[w as usize] < self.core[w as usize] {
+                pool.push(w);
+            }
+        }
     }
 }
 

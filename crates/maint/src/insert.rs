@@ -172,6 +172,8 @@ impl<S: OrderSeq> OrderCore<S> {
                 .filter(|&w| self.vc_mark[w as usize] == epoch),
         );
         stats.changed += vstar.len();
+        self.level_counts[k as usize] -= vstar.len();
+        self.level_counts[k as usize + 1] += vstar.len();
 
         for (i, &w) in vstar.iter().enumerate() {
             self.core[w as usize] = k + 1;

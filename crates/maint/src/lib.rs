@@ -35,6 +35,7 @@ pub mod journal;
 pub mod maintainer;
 pub mod order_core;
 pub mod persist;
+pub mod planner;
 pub mod query;
 pub mod vertex;
 
@@ -46,6 +47,7 @@ pub use kcore_traversal::UpdateStats;
 pub use maintainer::{CoreMaintainer, RecomputeCore};
 pub use order_core::OrderCore;
 pub use persist::PersistError;
+pub use planner::{PlanPolicy, PlannedCore, Planner, PlannerConfig, PlannerStats, Strategy};
 pub use vertex::BatchOp;
 
 /// `OrderCore` instantiated with the paper's treap-backed `A_k`.
@@ -56,6 +58,10 @@ pub type TagOrderCore = OrderCore<kcore_order::TagList>;
 
 /// `OrderCore` instantiated with the skip-list `A_k` (ablation variant).
 pub type SkipOrderCore = OrderCore<kcore_order::SkipList>;
+
+/// [`PlannedCore`] over the paper's treap-backed `A_k` — the adaptive
+/// engine the batch benchmarks drive.
+pub type PlannedTreapCore = PlannedCore<kcore_order::OrderTreap>;
 
 #[cfg(test)]
 mod tests;

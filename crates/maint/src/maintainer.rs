@@ -4,6 +4,7 @@
 //! harness and the integration tests can drive them uniformly.
 
 use crate::order_core::OrderCore;
+use crate::planner::PlannedCore;
 use kcore_decomp::core_decomposition;
 use kcore_graph::{DynamicGraph, EdgeListError, VertexId};
 use kcore_order::OrderSeq;
@@ -90,6 +91,44 @@ impl<S: OrderSeq> CoreMaintainer for OrderCore<S> {
 
     fn name(&self) -> String {
         "Order".to_string()
+    }
+}
+
+/// The adaptive engine: batch entry points dispatch through the planner
+/// (order-based passes vs recompute with a deferred k-order rebuild);
+/// single-edge updates run the order-based algorithms, re-freshening the
+/// order index first when a recompute left it stale.
+impl<S: OrderSeq> CoreMaintainer for PlannedCore<S> {
+    fn insert(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
+        self.insert_edge(u, v)
+    }
+
+    fn remove(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
+        self.remove_edge(u, v)
+    }
+
+    fn insert_batch(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateStats {
+        self.insert_edges(edges)
+    }
+
+    fn remove_batch(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateStats {
+        self.remove_edges(edges)
+    }
+
+    fn core_of(&self, v: VertexId) -> u32 {
+        self.core(v)
+    }
+
+    fn core_slice(&self) -> &[u32] {
+        self.cores()
+    }
+
+    fn graph_ref(&self) -> &DynamicGraph {
+        self.graph()
+    }
+
+    fn name(&self) -> String {
+        "Planned".to_string()
     }
 }
 

@@ -1,7 +1,9 @@
 //! The [`OrderCore`] structure: graph + k-order index + per-vertex degrees.
 
 use kcore_decomp::validate::compute_mcd;
-use kcore_decomp::{korder_decomposition, Heuristic};
+use kcore_decomp::{
+    core_decomposition, korder_decomposition, korder_from_cores, Heuristic, KOrder,
+};
 use kcore_graph::{DynamicGraph, VertexId};
 use kcore_order::{MinRankHeap, OrderSeq, OrderTreap, VertexLists, NONE};
 
@@ -32,6 +34,23 @@ pub struct OrderCore<S: OrderSeq = OrderTreap> {
     pub(crate) rank_stamp: Vec<u64>,
     /// Core level at cache time.
     pub(crate) rank_level: Vec<u32>,
+    /// `level_counts[k]` = number of vertices with core number exactly
+    /// `k`, maintained incrementally by the promote/dismiss passes and
+    /// the recompute fallback — so [`OrderCore::core_histogram`] and
+    /// [`OrderCore::degeneracy`] answer in `O(levels)` instead of
+    /// rescanning all `n` core numbers. Always as long as `seqs`.
+    pub(crate) level_counts: Vec<usize>,
+
+    // ---- per-batch scratch, reused across batches ----
+    /// Filtered edge list of the current batch (apply phase).
+    pub(crate) edge_scratch: Vec<(VertexId, VertexId)>,
+    /// Sorted endpoint multiset used for adjacency pre-reservation.
+    pub(crate) endpoint_scratch: Vec<VertexId>,
+    /// Seeds collected by an apply phase for the pass phase: Lemma 5.1
+    /// violators for insertion, dismissible vertices for removal.
+    pub(crate) batch_seeds: Vec<VertexId>,
+    /// The per-level seed slice the pass loop is currently working on.
+    pub(crate) level_seeds: Vec<VertexId>,
 
     // ---- per-operation scratch, epoch-stamped ----
     pub(crate) epoch: u32,
@@ -67,33 +86,35 @@ impl<S: OrderSeq> OrderCore<S> {
     /// the Fig 9 study), then `O_k` lists, `A_k` structures, and `mcd`.
     pub fn with_heuristic(graph: DynamicGraph, heuristic: Heuristic, seed: u64) -> Self {
         let ko = korder_decomposition(&graph, heuristic, seed);
+        Self::from_korder(graph, ko, seed)
+    }
+
+    /// Assembles the full index from a precomputed [`KOrder`] of `graph`
+    /// (shared by [`OrderCore::with_heuristic`] and the persistence
+    /// loader). `A_k` structures are built by chaining `insert_after` at
+    /// the current tail — `O(1)` expected rotations per element — instead
+    /// of paying `insert_last`'s right-spine walk per vertex.
+    pub(crate) fn from_korder(graph: DynamicGraph, ko: KOrder, seed: u64) -> Self {
         let n = graph.num_vertices();
-        let max_k = ko.core.iter().copied().max().unwrap_or(0) as usize;
-        let mut lists = VertexLists::new(n, max_k + 1);
-        let mut seqs: Vec<S> = (0..=max_k as u64)
-            .map(|k| S::with_seed(seed ^ (k.wrapping_mul(0x9E37_79B9_7F4A_7C15))))
-            .collect();
-        let mut node = vec![NONE; n];
-        for &v in &ko.order {
-            let k = ko.core[v as usize];
-            lists.push_back(k, v);
-            node[v as usize] = seqs[k as usize].insert_last(v);
-        }
         let mcd = compute_mcd(&graph, &ko.core);
-        let num_levels = seqs.len();
-        OrderCore {
+        let mut core = OrderCore {
             graph,
-            core: ko.core,
-            deg_plus: ko.deg_plus,
+            core: Vec::new(),
+            deg_plus: Vec::new(),
             mcd,
-            lists,
-            seqs,
-            node,
+            lists: VertexLists::new(0, 0),
+            seqs: Vec::new(),
+            node: Vec::new(),
             seed,
-            seq_version: vec![1; num_levels],
+            seq_version: Vec::new(),
             rank_cache: vec![0; n],
             rank_stamp: vec![0; n],
             rank_level: vec![0; n],
+            level_counts: Vec::new(),
+            edge_scratch: Vec::new(),
+            endpoint_scratch: Vec::new(),
+            batch_seeds: Vec::new(),
+            level_seeds: Vec::new(),
             epoch: 0,
             deg_star: vec![0; n],
             star_mark: vec![0; n],
@@ -107,6 +128,88 @@ impl<S: OrderSeq> OrderCore<S> {
             cd_work: vec![0; n],
             touch_mark: vec![0; n],
             vstar: Vec::new(),
+        };
+        core.install_korder(ko);
+        core
+    }
+
+    /// Rebuilds the entire order index **in place** from a fresh
+    /// [`KOrder`] of the *current* graph: `O_k` lists, `A_k` structures,
+    /// node handles, `core`/`deg⁺`/`mcd`, the per-level counts, and every
+    /// rank-cache stamp. Per-vertex scratch keeps its allocations — this
+    /// is the recompute fallback's re-entry point into order-based
+    /// maintenance, so it must leave the engine exactly as a fresh build
+    /// would (asserted by [`OrderCore::validate`] in tests).
+    pub fn rebuild_from_korder(&mut self, ko: KOrder) {
+        assert_eq!(ko.core.len(), self.graph.num_vertices());
+        self.mcd = compute_mcd(&self.graph, &ko.core);
+        self.install_korder(ko);
+    }
+
+    /// Recomputes cores from scratch and rebuilds the order index through
+    /// the [`korder_from_cores`] bridge — cheaper than a full
+    /// [`korder_decomposition`] because the victim-selection machinery is
+    /// skipped. Used by the bulk path of [`OrderCore::apply_batch`] and
+    /// by tests of the recompute fallback.
+    pub fn rebuild_via_decomposition(&mut self) {
+        let core = core_decomposition(&self.graph);
+        let ko = korder_from_cores(&self.graph, &core);
+        self.rebuild_from_korder(ko);
+    }
+
+    /// Shared tail of [`OrderCore::from_korder`] /
+    /// [`OrderCore::rebuild_from_korder`]: installs order structures and
+    /// per-vertex order state from `ko` (whose `mcd` counterpart the
+    /// caller has already stored).
+    fn install_korder(&mut self, ko: KOrder) {
+        let n = self.graph.num_vertices();
+        let max_k = ko.core.iter().copied().max().unwrap_or(0) as usize;
+        self.lists = VertexLists::new(n, max_k + 1);
+        self.seqs = (0..=max_k as u64)
+            .map(|k| S::with_seed(self.seed ^ (k.wrapping_mul(0x9E37_79B9_7F4A_7C15))))
+            .collect();
+        self.node.clear();
+        self.node.resize(n, NONE);
+        let mut cur_level = u32::MAX;
+        let mut prev = NONE;
+        for &v in &ko.order {
+            let k = ko.core[v as usize];
+            self.lists.push_back(k, v);
+            // The order is grouped by level, so each level's structure is
+            // filled by appending after the previous handle.
+            let h = if k == cur_level {
+                self.seqs[k as usize].insert_after(prev, v)
+            } else {
+                cur_level = k;
+                self.seqs[k as usize].insert_last(v)
+            };
+            prev = h;
+            self.node[v as usize] = h;
+        }
+        self.core = ko.core;
+        self.deg_plus = ko.deg_plus;
+        self.seq_version.clear();
+        self.seq_version.resize(max_k + 1, 1);
+        // Stamp 0 = never cached: old stamps must not alias the reset
+        // versions.
+        self.rank_stamp.clear();
+        self.rank_stamp.resize(n, 0);
+        self.level_counts.clear();
+        self.level_counts.resize(max_k + 1, 0);
+        for &c in &self.core {
+            self.level_counts[c as usize] += 1;
+        }
+    }
+
+    /// Recounts `level_counts` from the core numbers (`O(n)`) — used when
+    /// a recompute refreshes `core` wholesale instead of moving vertices
+    /// level by level.
+    pub(crate) fn refresh_level_counts(&mut self) {
+        let max_k = self.core.iter().copied().max().unwrap_or(0) as usize;
+        self.level_counts.clear();
+        self.level_counts.resize(max_k + 1, 0);
+        for &c in &self.core {
+            self.level_counts[c as usize] += 1;
         }
     }
 
@@ -182,6 +285,7 @@ impl<S: OrderSeq> OrderCore<S> {
         self.lists.push_back(0, v);
         let h = self.seqs[0].insert_last(v);
         self.bump_seq_version(0);
+        self.level_counts[0] += 1;
         self.node.push(h);
         self.deg_star.push(0);
         self.star_mark.push(0);
@@ -211,7 +315,7 @@ impl<S: OrderSeq> OrderCore<S> {
         true
     }
 
-    /// Makes sure `seqs[k]` and list `k` exist.
+    /// Makes sure `seqs[k]`, list `k`, and the level-count slot exist.
     pub(crate) fn ensure_level(&mut self, k: u32) {
         self.lists.ensure_list(k);
         while self.seqs.len() <= k as usize {
@@ -220,7 +324,49 @@ impl<S: OrderSeq> OrderCore<S> {
                 self.seed ^ idx.wrapping_mul(0x9E37_79B9_7F4A_7C15),
             ));
             self.seq_version.push(1);
+            self.level_counts.push(0);
         }
+    }
+
+    /// Summary of the seeds an apply phase left for the pass phase:
+    /// `(count, lowest level, highest level)` — the cost-model inputs the
+    /// adaptive planner reads between the two phases. `None` when the
+    /// batch left no Lemma 5.1 violation / dismissible vertex.
+    pub(crate) fn batch_seed_summary(&self) -> Option<(usize, u32, u32)> {
+        let mut lo = u32::MAX;
+        let mut hi = 0;
+        for &v in &self.batch_seeds {
+            let k = self.core[v as usize];
+            lo = lo.min(k);
+            hi = hi.max(k);
+        }
+        if self.batch_seeds.is_empty() {
+            None
+        } else {
+            Some((self.batch_seeds.len(), lo, hi))
+        }
+    }
+
+    /// Drops the seeds an apply phase collected without running passes —
+    /// the planner calls this when it abandons the pass phase in favour
+    /// of a recompute (the seeds are meaningless after a rebuild).
+    pub(crate) fn discard_batch_seeds(&mut self) {
+        self.batch_seeds.clear();
+    }
+
+    /// Total capacity (in elements) of the reusable per-batch scratch
+    /// buffers — a diagnostic for the zero-steady-state-allocation
+    /// property: after a warm-up batch, identical batches must not grow
+    /// any of these.
+    pub fn batch_scratch_capacity(&self) -> usize {
+        self.edge_scratch.capacity()
+            + self.endpoint_scratch.capacity()
+            + self.batch_seeds.capacity()
+            + self.level_seeds.capacity()
+            + self.vc.capacity()
+            + self.queue.capacity()
+            + self.vstar.capacity()
+            + self.demotions.capacity()
     }
 
     /// Marks `seqs[k]` as structurally changed, invalidating every rank
@@ -338,5 +484,17 @@ impl<S: OrderSeq> OrderCore<S> {
         // mcd definition.
         let mcd_ref = compute_mcd(&self.graph, &self.core);
         assert_eq!(self.mcd, mcd_ref, "mcd diverged");
+
+        // Incrementally maintained per-level counts against a recount.
+        assert_eq!(
+            self.level_counts.len(),
+            self.seqs.len(),
+            "level_counts and seqs lengths diverged"
+        );
+        let mut counts = vec![0usize; self.level_counts.len()];
+        for &c in &self.core {
+            counts[c as usize] += 1;
+        }
+        assert_eq!(self.level_counts, counts, "level_counts diverged");
     }
 }

@@ -7,12 +7,13 @@
 //! global k-order, and the three per-vertex arrays (`core`, `deg⁺`,
 //! `mcd`), all little-endian `u32`, guarded by a magic header and an
 //! Fx-hash checksum. Loading re-validates the cheap structural facts
-//! (grouping, Lemma 5.1) and rebuilds the treaps in `O(n log n)`.
+//! (grouping, Lemma 5.1) and rebuilds the treaps by chaining at the tail
+//! (`O(1)` expected rotations per vertex).
 
 use crate::order_core::OrderCore;
 use kcore_decomp::validate::compute_mcd;
 use kcore_graph::{DynamicGraph, FxHashSet, VertexId};
-use kcore_order::{MinRankHeap, OrderSeq, VertexLists, NONE};
+use kcore_order::OrderSeq;
 use std::hash::{BuildHasher, Hasher};
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -166,46 +167,15 @@ impl<S: OrderSeq> OrderCore<S> {
             return Err(PersistError::Corrupted("mcd mismatch"));
         }
 
-        // Rebuild lists / sequences / handles.
-        let max_k = core.iter().copied().max().unwrap_or(0) as usize;
-        let mut lists = VertexLists::new(n, max_k + 1);
-        let mut seqs: Vec<S> = (0..=max_k as u64)
-            .map(|k| S::with_seed(seed ^ (k.wrapping_mul(0x9E37_79B9_7F4A_7C15))))
-            .collect();
-        let mut node = vec![NONE; n];
-        for &v in &order {
-            let k = core[v as usize];
-            lists.push_back(k, v);
-            node[v as usize] = seqs[k as usize].insert_last(v);
-        }
-        let num_levels = seqs.len();
-        Ok(OrderCore {
-            graph,
+        // Rebuild lists / sequences / handles through the shared
+        // `KOrder` constructor (one place initialises every field of the
+        // index, including the per-level counts and batch scratch).
+        let ko = kcore_decomp::KOrder {
             core,
+            order,
             deg_plus,
-            mcd,
-            lists,
-            seqs,
-            node,
-            seed,
-            seq_version: vec![1; num_levels],
-            rank_cache: vec![0; n],
-            rank_stamp: vec![0; n],
-            rank_level: vec![0; n],
-            epoch: 0,
-            deg_star: vec![0; n],
-            star_mark: vec![0; n],
-            vc_mark: vec![0; n],
-            queue_mark: vec![0; n],
-            heap: MinRankHeap::new(),
-            vc: Vec::new(),
-            vc_pos: vec![0; n],
-            demotions: Vec::new(),
-            queue: Vec::new(),
-            cd_work: vec![0; n],
-            touch_mark: vec![0; n],
-            vstar: Vec::new(),
-        })
+        };
+        Ok(OrderCore::from_korder(graph, ko, seed))
     }
 
     /// Loads from a file path.

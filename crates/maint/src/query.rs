@@ -16,14 +16,24 @@ impl<S: OrderSeq> OrderCore<S> {
         self.core(v) >= k
     }
 
-    /// All vertices of the `k`-core.
+    /// All vertices of the `k`-core. The maintained per-level counts give
+    /// the exact member count up front, so the result vector is allocated
+    /// once at its final size (and an empty `k`-core allocates nothing).
     pub fn kcore_members(&self, k: u32) -> Vec<VertexId> {
-        self.cores()
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c >= k)
-            .map(|(v, _)| v as VertexId)
-            .collect()
+        let total: usize = self.level_counts.iter().skip(k as usize).copied().sum();
+        let mut out = Vec::with_capacity(total);
+        if total == 0 {
+            return out;
+        }
+        out.extend(
+            self.cores()
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c >= k)
+                .map(|(v, _)| v as VertexId),
+        );
+        debug_assert_eq!(out.len(), total);
+        out
     }
 
     /// The `k`-core as a subgraph (original ids; outside vertices are
@@ -39,18 +49,18 @@ impl<S: OrderSeq> OrderCore<S> {
     }
 
     /// The degeneracy of the graph: the largest `k` with a non-empty
-    /// `k`-core.
+    /// `k`-core. Served from the incrementally maintained per-level
+    /// counts in `O(levels)` — no `O(n)` rescan of the core numbers.
     pub fn degeneracy(&self) -> u32 {
-        self.cores().iter().copied().max().unwrap_or(0)
+        self.level_counts.iter().rposition(|&c| c > 0).unwrap_or(0) as u32
     }
 
     /// `hist[k]` = number of vertices with core number exactly `k`.
+    /// `O(levels)`: a copy of the maintained per-level counts, truncated
+    /// at the degeneracy (promotion passes may leave empty trailing
+    /// levels behind).
     pub fn core_histogram(&self) -> Vec<usize> {
-        let mut hist = vec![0usize; self.degeneracy() as usize + 1];
-        for &c in self.cores() {
-            hist[c as usize] += 1;
-        }
-        hist
+        self.level_counts[..=self.degeneracy() as usize].to_vec()
     }
 
     /// The subcore `sc(v)`: the maximal connected set of vertices sharing

@@ -122,6 +122,8 @@ impl<S: OrderSeq> OrderCore<S> {
             self.vstar = vstar;
             return;
         }
+        self.level_counts[k as usize] -= vstar.len();
+        self.level_counts[k as usize - 1] += vstar.len();
 
         // ---- maintain the k-order (Algorithm 4 lines 6–14) ----
         // Process in dismissal order; vc_pos[w] = index lets the deg⁺

@@ -113,7 +113,9 @@ impl<S: OrderSeq> OrderCore<S> {
             }
             self.graph
                 .maintain_adjacency(kcore_graph::DEFAULT_MAX_HOLE_RATIO);
-            self.rebuild();
+            // Recompute + k-order bridge: cheaper than the full
+            // heuristic-peel rebuild, identical observable state.
+            self.rebuild_via_decomposition();
             let changed = before
                 .iter()
                 .zip(self.core.iter())

@@ -4,8 +4,17 @@
 
 use kcore_decomp::Heuristic;
 use kcore_graph::DynamicGraph;
-use kcore_maint::{BatchOp, CoreMaintainer, OrderCore, RecomputeCore, TreapOrderCore};
+use kcore_maint::{
+    BatchOp, CoreMaintainer, OrderCore, PlanPolicy, PlannedTreapCore, RecomputeCore, TreapOrderCore,
+};
 use proptest::prelude::*;
+
+const ALL_POLICIES: [PlanPolicy; 4] = [
+    PlanPolicy::Auto,
+    PlanPolicy::ForceBatch,
+    PlanPolicy::ForceSplit,
+    PlanPolicy::ForceRecompute,
+];
 
 fn arb_graph(n: u32, max_edges: usize) -> impl Strategy<Value = DynamicGraph> {
     prop::collection::vec((0..n, 0..n), 0..max_edges).prop_map(move |pairs| {
@@ -228,6 +237,108 @@ proptest! {
             prop_assert_eq!(engine.cores(), oracle.core_slice());
         }
         engine.validate();
+    }
+
+    /// Planner equivalence on random edge soups: every `PlanPolicy`
+    /// yields bit-identical core numbers on dirty insert + removal
+    /// batches, reports identical skip counts, and — after any recompute
+    /// fallback — the engine remains a valid order-based index
+    /// (`validate()` passes post-rebuild) that keeps absorbing
+    /// single-edge updates through the order-based passes.
+    #[test]
+    fn planner_policies_agree_on_edge_soups(
+        g in arb_graph(16, 50),
+        raw in prop::collection::vec((0u32..20, 0u32..20), 1..40),
+        picks in prop::collection::vec((0u32..18, 0u32..18), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let mut reference: Option<(Vec<u32>, usize, usize)> = None;
+        for policy in ALL_POLICIES {
+            let mut pc = PlannedTreapCore::with_policy(g.clone(), seed, policy);
+            let si = pc.insert_edges(&raw);
+            let sr = pc.remove_edges(&picks);
+            // After a recompute fallback the engine must remain
+            // order-based: run single-edge updates through the passes
+            // (net zero change either way around).
+            if pc.graph().has_edge(0, 1) {
+                pc.remove_edge(0, 1).unwrap();
+                pc.insert_edge(0, 1).unwrap();
+            } else {
+                pc.insert_edge(0, 1).unwrap();
+                pc.remove_edge(0, 1).unwrap();
+            }
+            prop_assert!(pc.is_order_fresh());
+            pc.validate();
+            let state = (pc.cores().to_vec(), si.skipped, sr.skipped);
+            if let Some(r) = &reference {
+                prop_assert_eq!(&state, r, "{:?} diverged", policy);
+            } else {
+                prop_assert_eq!(
+                    &state.0[..],
+                    &kcore_decomp::core_decomposition(pc.graph())[..]
+                );
+                reference = Some(state);
+            }
+        }
+    }
+
+    /// Planner equivalence on preferential-attachment graphs with larger
+    /// fresh batches (the shape the benchmarks measure): all policies
+    /// agree with the decomposition oracle and stay valid.
+    #[test]
+    fn planner_policies_agree_on_ba_graphs(
+        n in 30usize..80,
+        attach in 2usize..4,
+        extra in prop::collection::vec((0u32..30, 0u32..30), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let g = kcore_gen::barabasi_albert(n, attach, seed);
+        let mut reference: Option<Vec<u32>> = None;
+        for policy in ALL_POLICIES {
+            let mut pc = PlannedTreapCore::with_policy(g.clone(), seed ^ 1, policy);
+            pc.insert_edges(&extra);
+            pc.validate();
+            let cores = pc.cores().to_vec();
+            if let Some(r) = &reference {
+                prop_assert_eq!(&cores, r, "{:?} diverged", policy);
+            } else {
+                prop_assert_eq!(
+                    &cores[..],
+                    &kcore_decomp::core_decomposition(pc.graph())[..]
+                );
+                reference = Some(cores);
+            }
+        }
+    }
+
+    /// Planner equivalence under churn streams driven through the
+    /// planned mixed entry point: every policy matches the recompute
+    /// oracle after every micro-batch, and the index revalidates at the
+    /// end (exercising the deferred rebuild across interleaved batches).
+    #[test]
+    fn planner_policies_agree_under_churn(
+        g in arb_graph(24, 90),
+        ins in 0usize..8,
+        rem in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut g = g;
+        if g.num_edges() == 0 {
+            g.insert_edge(0, 1).unwrap();
+        }
+        let stream = kcore_gen::churn_stream(&g, 5, ins, rem, seed);
+        for policy in ALL_POLICIES {
+            let mut pc = PlannedTreapCore::with_policy(g.clone(), seed, policy);
+            let mut oracle = RecomputeCore::new(g.clone());
+            for b in &stream {
+                let s = pc.apply_churn(&b.inserts, &b.removes);
+                prop_assert_eq!(s.skipped, 0, "churn ops are always valid");
+                oracle.insert_batch(&b.inserts);
+                oracle.remove_batch(&b.removes);
+                prop_assert_eq!(pc.cores(), oracle.core_slice(), "{:?} diverged", policy);
+            }
+            pc.validate();
+        }
     }
 
     /// Batch application (either path) equals sequential application.

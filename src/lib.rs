@@ -53,7 +53,8 @@ pub use kcore_traversal as traversal;
 pub use kcore_decomp::{core_decomposition, korder_decomposition, Heuristic};
 pub use kcore_graph::{DynamicGraph, VertexId};
 pub use kcore_maint::{
-    CoreMaintainer, RecomputeCore, SkipOrderCore, TagOrderCore, TreapOrderCore, UpdateStats,
+    CoreMaintainer, PlanPolicy, PlannedTreapCore, PlannerConfig, RecomputeCore, SkipOrderCore,
+    TagOrderCore, TreapOrderCore, UpdateStats,
 };
 pub use kcore_traversal::{SubCoreAlgo, TraversalCore};
 
