@@ -1,0 +1,373 @@
+//! Streaming-ingest throughput → `BENCH_ingest.json`.
+//!
+//! The experiment behind the `kcore-ingest` subsystem: drive the
+//! wall-clock [`IngestService`] (producer thread submitting, writer
+//! thread maintaining, snapshots publishing) over the two streaming
+//! workload shapes and measure what a deployment would see:
+//!
+//! * **churn** — `churn_stream` micro-batches (mixed degree-weighted
+//!   inserts + uniform removals) submitted with blocking backpressure:
+//!   sustained edges/sec, p50/p99 per-flush batch latency, and snapshot
+//!   staleness (events submitted but not yet covered by the published
+//!   epoch, sampled after every producer batch);
+//! * **window** — a `SlidingWindow` admit/expire stream over timestamped
+//!   edges: the same metrics for the expiry-heavy shape;
+//! * **durable** — the churn workload with journal shipping + periodic
+//!   index checkpoints, plus the `recover()` time to rebuild the final
+//!   state from disk.
+//!
+//! Every section's final core numbers are asserted equal to the
+//! recompute oracle before any number is reported. `--min-ingest-throughput R`
+//! turns the churn edges/sec into a CI exit gate; the gate is **waived
+//! with a loud note** (recorded in the JSON, matching `BENCH_par.json`)
+//! on hosts with fewer than 2 cores — producer and writer are separate
+//! threads, so a 1-core container measures time-slicing, not pipeline
+//! throughput.
+
+use kcore_decomp::core_decomposition;
+use kcore_gen::{barabasi_albert, churn_stream, timestamp_edges, SlidingWindow};
+use kcore_graph::DynamicGraph;
+use kcore_ingest::durability::DurabilityConfig;
+use kcore_ingest::sources::{apply_events, churn_events, window_event};
+use kcore_ingest::{recover, GraphEvent, IngestConfig, IngestService};
+use kcore_maint::PlannerConfig;
+use std::io::Write;
+use std::time::Instant;
+
+struct Args {
+    n: usize,
+    attach: usize,
+    batches: usize,
+    inserts_per_batch: usize,
+    removes_per_batch: usize,
+    max_batch: usize,
+    queue: usize,
+    seed: u64,
+    out: String,
+    /// `0.0` disables the gate (events/sec on the churn section).
+    min_ingest_throughput: f64,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut a = Args {
+            n: 20_000,
+            attach: 4,
+            batches: 200,
+            inserts_per_batch: 96,
+            removes_per_batch: 64,
+            max_batch: 512,
+            queue: 4096,
+            seed: 42,
+            out: "BENCH_ingest.json".to_string(),
+            min_ingest_throughput: 0.0,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let need = |i: usize| {
+                argv.get(i + 1)
+                    .unwrap_or_else(|| panic!("flag {} needs a value", argv[i]))
+            };
+            match argv[i].as_str() {
+                "--n" => a.n = need(i).parse().expect("bad --n"),
+                "--attach" => a.attach = need(i).parse().expect("bad --attach"),
+                "--batches" => a.batches = need(i).parse().expect("bad --batches"),
+                "--inserts-per-batch" => {
+                    a.inserts_per_batch = need(i).parse().expect("bad --inserts-per-batch")
+                }
+                "--removes-per-batch" => {
+                    a.removes_per_batch = need(i).parse().expect("bad --removes-per-batch")
+                }
+                "--max-batch" => a.max_batch = need(i).parse().expect("bad --max-batch"),
+                "--queue" => a.queue = need(i).parse().expect("bad --queue"),
+                "--seed" => a.seed = need(i).parse().expect("bad --seed"),
+                "--out" => a.out = need(i).clone(),
+                "--min-ingest-throughput" => {
+                    a.min_ingest_throughput = need(i).parse().expect("bad --min-ingest-throughput")
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --n N  --attach M  --batches B  --inserts-per-batch I  \
+                         --removes-per-batch R  --max-batch S  --queue Q  --seed S  \
+                         --out FILE  --min-ingest-throughput EPS"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other:?} (try --help)"),
+            }
+            i += 2;
+        }
+        a
+    }
+}
+
+/// Percentile over an unsorted sample (nearest-rank).
+fn percentile(sample: &mut [u64], p: f64) -> u64 {
+    if sample.is_empty() {
+        return 0;
+    }
+    sample.sort_unstable();
+    let rank = ((p / 100.0) * sample.len() as f64).ceil() as usize;
+    sample[rank.clamp(1, sample.len()) - 1]
+}
+
+/// Oracle: the stream applied through the shared skip-semantics model
+/// (`kcore_ingest::sources::apply_events`), then decomposed.
+fn oracle_cores(base: &DynamicGraph, events: &[GraphEvent]) -> Vec<u32> {
+    core_decomposition(&apply_events(base, events))
+}
+
+struct SectionReport {
+    name: &'static str,
+    events: usize,
+    secs: f64,
+    events_per_sec: f64,
+    batches: u64,
+    epochs: u64,
+    latency_p50_ns: u64,
+    latency_p99_ns: u64,
+    latency_max_ns: u64,
+    staleness_p50: u64,
+    staleness_max: u64,
+}
+
+impl SectionReport {
+    fn print(&self) {
+        println!(
+            "{:<8} {:>8} events in {:>7.3}s = {:>10.0} events/sec | {:>4} batches, {:>4} epochs | \
+             batch p50 {:>7}us p99 {:>7}us | staleness p50 {:>5} max {:>5} events",
+            self.name,
+            self.events,
+            self.secs,
+            self.events_per_sec,
+            self.batches,
+            self.epochs,
+            self.latency_p50_ns / 1_000,
+            self.latency_p99_ns / 1_000,
+            self.staleness_p50,
+            self.staleness_max,
+        );
+    }
+
+    fn json(&self, indent: &str) -> String {
+        format!(
+            "{indent}\"{}\": {{\n\
+             {indent}  \"events\": {},\n\
+             {indent}  \"secs\": {:.4},\n\
+             {indent}  \"events_per_sec\": {:.0},\n\
+             {indent}  \"batches\": {},\n\
+             {indent}  \"epochs\": {},\n\
+             {indent}  \"batch_latency_ns\": {{ \"p50\": {}, \"p99\": {}, \"max\": {} }},\n\
+             {indent}  \"staleness_events\": {{ \"p50\": {}, \"max\": {} }}\n\
+             {indent}}}",
+            self.name,
+            self.events,
+            self.secs,
+            self.events_per_sec,
+            self.batches,
+            self.epochs,
+            self.latency_p50_ns,
+            self.latency_p99_ns,
+            self.latency_max_ns,
+            self.staleness_p50,
+            self.staleness_max,
+        )
+    }
+}
+
+/// Runs one stream through a freshly spawned service, sampling staleness
+/// after every `sample_every` submissions; asserts oracle equality.
+fn run_section(
+    name: &'static str,
+    base: &DynamicGraph,
+    events: &[GraphEvent],
+    cfg: IngestConfig,
+    seed: u64,
+    sample_every: usize,
+) -> SectionReport {
+    let svc = IngestService::spawn_planned(base.clone(), seed, cfg).expect("spawn service");
+    let handle = svc.snapshots();
+    let mut staleness: Vec<u64> = Vec::with_capacity(events.len() / sample_every.max(1) + 1);
+    let t0 = Instant::now();
+    for (i, &e) in events.iter().enumerate() {
+        svc.submit(e).expect("writer alive");
+        if i % sample_every.max(1) == sample_every.max(1) - 1 {
+            let snap = handle.load();
+            staleness.push((i as u64 + 1).saturating_sub(snap.ops));
+        }
+    }
+    svc.flush().expect("final barrier");
+    let secs = t0.elapsed().as_secs_f64();
+    let (report, engine) = svc.shutdown();
+
+    assert_eq!(
+        engine.cores(),
+        &oracle_cores(base, events)[..],
+        "{name}: final state diverged from the recompute oracle"
+    );
+
+    let mut lat = report.batch_apply_ns.clone();
+    let latency_max_ns = lat.iter().copied().max().unwrap_or(0);
+    SectionReport {
+        name,
+        events: events.len(),
+        secs,
+        events_per_sec: events.len() as f64 / secs,
+        batches: report.batches,
+        epochs: report.epochs_published,
+        latency_p50_ns: percentile(&mut lat, 50.0),
+        latency_p99_ns: percentile(&mut lat, 99.0),
+        latency_max_ns,
+        staleness_p50: percentile(&mut staleness, 50.0),
+        staleness_max: staleness.iter().copied().max().unwrap_or(0),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let base = barabasi_albert(args.n, args.attach, args.seed);
+    println!(
+        "base graph: n = {}, m = {} (barabasi_albert attach {}), host_parallelism = {host}",
+        base.num_vertices(),
+        base.num_edges(),
+        args.attach
+    );
+
+    let wall_cfg = || {
+        IngestConfig::default()
+            .max_batch(args.max_batch)
+            .queue_capacity(args.queue)
+    };
+
+    // ---- churn: the gated headline workload ----
+    let churn: Vec<GraphEvent> = churn_stream(
+        &base,
+        args.batches,
+        args.inserts_per_batch,
+        args.removes_per_batch,
+        args.seed ^ 0xC0FFEE,
+    )
+    .iter()
+    .flat_map(churn_events)
+    .collect();
+    // Untimed warm-up on a quarter of the stream (cold caches + thread
+    // spawn would otherwise land in the first timed batch).
+    {
+        let quarter = &churn[..churn.len() / 4];
+        let _ = run_section("warmup", &base, quarter, wall_cfg(), args.seed, usize::MAX);
+    }
+    let churn_report = run_section(
+        "churn",
+        &base,
+        &churn,
+        wall_cfg(),
+        args.seed,
+        args.inserts_per_batch + args.removes_per_batch,
+    );
+    churn_report.print();
+
+    // ---- window: admit/expire over a timestamped stream ----
+    let ts = timestamp_edges(&base, 3, args.seed ^ 0xD00D);
+    let window_events: Vec<GraphEvent> = SlidingWindow::new(ts, args.n as u64)
+        .map(window_event)
+        .collect();
+    let empty = DynamicGraph::with_vertices(args.n);
+    let window_report = run_section(
+        "window",
+        &empty,
+        &window_events,
+        wall_cfg(),
+        args.seed,
+        1024,
+    );
+    window_report.print();
+
+    // ---- durable: churn again with journal + checkpoints ----
+    let dir = std::env::temp_dir().join("kcore_bench_ingest");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let d = DurabilityConfig::in_dir(&dir).snapshot_every(64);
+    let durable_report = run_section(
+        "durable",
+        &base,
+        &churn,
+        wall_cfg().durable(d.clone()),
+        args.seed,
+        args.inserts_per_batch + args.removes_per_batch,
+    );
+    durable_report.print();
+    let journal_bytes = std::fs::metadata(&d.journal_path)
+        .map(|m| m.len())
+        .unwrap_or(0);
+
+    let t0 = Instant::now();
+    let rec = recover(&d, args.seed, PlannerConfig::default(), args.max_batch)
+        .expect("recover from bench journal");
+    let recover_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        rec.engine.cores(),
+        &oracle_cores(&base, &churn)[..],
+        "recovered state diverged from the oracle"
+    );
+    println!(
+        "recover: {} events ({} replayed past checkpoint) in {recover_secs:.3}s from {} journal bytes",
+        rec.next_seq, rec.replayed, journal_bytes
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    // ---- gate bookkeeping (BENCH_par.json convention) ----
+    const GATE_CORES: usize = 2;
+    let gate_status = if args.min_ingest_throughput <= 0.0 {
+        "disabled".to_string()
+    } else if host < GATE_CORES {
+        format!(
+            "waived (host_parallelism {host} < {GATE_CORES} required: producer + writer threads)"
+        )
+    } else {
+        "enforced".to_string()
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    json.push_str(&format!(
+        "  \"config\": {{ \"n\": {}, \"attach\": {}, \"batches\": {}, \"inserts_per_batch\": {}, \
+         \"removes_per_batch\": {}, \"max_batch\": {}, \"queue\": {} }},\n",
+        args.n,
+        args.attach,
+        args.batches,
+        args.inserts_per_batch,
+        args.removes_per_batch,
+        args.max_batch,
+        args.queue
+    ));
+    for r in [&churn_report, &window_report, &durable_report] {
+        json.push_str(&r.json("  "));
+        json.push_str(",\n");
+    }
+    json.push_str(&format!(
+        "  \"recover\": {{ \"events\": {}, \"replayed\": {}, \"secs\": {recover_secs:.4}, \
+         \"journal_bytes\": {journal_bytes} }},\n",
+        rec.next_seq, rec.replayed
+    ));
+    json.push_str(&format!(
+        "  \"target_events_per_sec\": {:.0},\n  \"gate\": \"{gate_status}\"\n}}\n",
+        args.min_ingest_throughput
+    ));
+    let mut f = std::fs::File::create(&args.out).expect("create BENCH_ingest.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_ingest.json");
+    println!("wrote {} (gate: {gate_status})", args.out);
+
+    if gate_status == "enforced" && churn_report.events_per_sec < args.min_ingest_throughput {
+        eprintln!(
+            "GATE FAILED: churn ingest {:.0} events/sec < required {:.0}",
+            churn_report.events_per_sec, args.min_ingest_throughput
+        );
+        std::process::exit(1);
+    }
+}

@@ -245,6 +245,24 @@ impl SlidingWindow {
     }
 }
 
+/// A window is an iterator over its transitions — `for op in window`
+/// drains admits and expiries in stream order, which is what lets it
+/// feed an event-based consumer (e.g. a streaming ingest service)
+/// directly.
+impl Iterator for SlidingWindow {
+    type Item = WindowOp;
+
+    fn next(&mut self) -> Option<WindowOp> {
+        self.step()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // Every edge is admitted once and expired once.
+        let remaining = (self.edges.len() - self.head) + (self.edges.len() - self.tail);
+        (remaining, Some(remaining))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +362,22 @@ mod tests {
         assert_eq!(expires, 3);
         // (0,1)@1 and (1,2)@5 overlap; (2,3)@20 forces both out first
         assert_eq!(live_max, 2);
+    }
+
+    #[test]
+    fn window_iterator_matches_step_and_size_hint() {
+        let g = barabasi_albert(40, 2, 13);
+        let ts = timestamp_edges(&g, 3, 7);
+        let stepped: Vec<WindowOp> = {
+            let mut w = SlidingWindow::new(ts.clone(), 12);
+            std::iter::from_fn(move || w.step()).collect()
+        };
+        let mut w = SlidingWindow::new(ts, 12);
+        assert_eq!(w.size_hint(), (stepped.len(), Some(stepped.len())));
+        let iterated: Vec<WindowOp> = w.by_ref().collect();
+        assert_eq!(iterated, stepped);
+        assert!(w.is_done());
+        assert_eq!(w.size_hint(), (0, Some(0)));
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! # kcore-ingest
+//!
+//! The streaming ingest subsystem: the component that actually *runs*
+//! the order-based maintenance of the source paper against a live stream
+//! of edge updates, end to end.
+//!
+//! * **Single writer, bounded queue, real backpressure** — an
+//!   [`IngestService`] owns a maintenance engine (by default the
+//!   planner-driven [`kcore_maint::PlannedCore`]) on a dedicated writer
+//!   thread fed by a bounded MPSC channel of [`GraphEvent`]s.
+//!   [`IngestService::try_submit`] surfaces [`IngestError::QueueFull`]
+//!   when the writer falls behind; [`IngestService::submit`] blocks.
+//! * **Micro-batching** — events flush on batch-size or clock tick;
+//!   [`ClockMode::Scripted`] serialises time into the message stream so
+//!   every test is wall-clock-free and deterministic.
+//! * **Snapshot-isolated reads** — each flush publishes an immutable,
+//!   epoch-versioned [`CoreSnapshot`] (cores, histogram, degeneracy,
+//!   k-core membership) behind an `Arc` swap: any number of reader
+//!   threads load consistent state without blocking the writer.
+//! * **Durability** — the writer ships the [`kcore_maint::journal`]
+//!   tail into an append-only journal file and periodically persists the
+//!   full index; [`recover`] restores snapshot + journal tail (replayed
+//!   in planner-priced batches) after a crash.
+//!
+//! ```
+//! use kcore_ingest::{GraphEvent, IngestConfig, IngestService};
+//! use kcore_graph::DynamicGraph;
+//!
+//! let svc = IngestService::spawn_planned(
+//!     DynamicGraph::with_vertices(4),
+//!     42,
+//!     IngestConfig::scripted().max_batch(2),
+//! )
+//! .unwrap();
+//! svc.submit(GraphEvent::EdgeInserted(0, 1)).unwrap();
+//! svc.submit(GraphEvent::EdgeInserted(1, 2)).unwrap(); // size-flush
+//! let snap = svc.flush().unwrap();
+//! assert_eq!(snap.ops, 2);
+//! assert_eq!(snap.core(1), 1);
+//! let (report, engine) = svc.shutdown();
+//! assert_eq!(report.events, 2);
+//! assert_eq!(engine.cores(), &[1, 1, 1, 0]);
+//! ```
+
+pub mod durability;
+pub mod service;
+pub mod snapshot;
+pub mod sources;
+
+pub use durability::{
+    read_journal, recover, DurabilityConfig, JournalSink, RecoverError, Recovered,
+};
+pub use kcore_maint::journal::GraphEvent;
+pub use service::{
+    ClockMode, IngestConfig, IngestEngine, IngestError, IngestPause, IngestReport, IngestService,
+};
+pub use snapshot::{CoreSnapshot, SnapshotHandle, SnapshotReceiver};
+
+#[cfg(test)]
+mod tests;

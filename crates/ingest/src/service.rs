@@ -1,0 +1,693 @@
+//! The ingest service: a single-writer, multi-reader streaming loop.
+//!
+//! One dedicated **writer thread** owns the maintenance engine (wrapped
+//! in a [`Journaled`] recorder) and is fed [`GraphEvent`]s through a
+//! **bounded** MPSC channel — the bound is the backpressure contract:
+//! [`IngestService::try_submit`] reports [`IngestError::QueueFull`]
+//! instead of buffering unboundedly, [`IngestService::submit`] blocks
+//! the producer until the writer drains. A **micro-batcher** buffers
+//! events and flushes on whichever comes first: the batch-size cap or a
+//! clock tick past the flush interval. Each flush applies the batch
+//! through the engine's planner-driven batch path (via
+//! [`replay_batched`], so mixed insert/remove runs group correctly),
+//! ships the journal tail to the durability sink, and publishes a fresh
+//! epoch-versioned [`CoreSnapshot`] — readers never observe a
+//! half-applied batch and never block the writer.
+//!
+//! ## Clocks and determinism
+//!
+//! Production uses [`ClockMode::Wall`]. Tests use
+//! [`ClockMode::Scripted`], where time advances **only** through
+//! [`IngestService::tick`] messages travelling the same channel as
+//! events: the writer's behaviour becomes a pure function of the message
+//! sequence, so flush boundaries, epochs, and journal contents are
+//! bit-reproducible on any host — including this repo's 1-CPU CI
+//! container — with no sleeps and no wall-clock reads. (This is the
+//! same testing posture as `Planner::with_clock`, pushed one level up:
+//! instead of injecting a closure the writer polls — which would race
+//! with event arrival — the scripted clock serialises time itself into
+//! the event stream.)
+
+use crate::durability::{DurabilityConfig, JournalSink, Recovered};
+use crate::snapshot::{CoreSnapshot, SnapshotHandle, SnapshotReceiver};
+use kcore_graph::DynamicGraph;
+use kcore_maint::journal::{replay_batched, GraphEvent, Journaled};
+use kcore_maint::{
+    CoreMaintainer, PlannedCore, PlannerConfig, RecomputeCore, TreapOrderCore, UpdateStats,
+};
+use std::io;
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// An engine the ingest writer can drive: any [`CoreMaintainer`] that
+/// can cross the thread boundary, with optional fast histogram and
+/// index-persistence hooks.
+pub trait IngestEngine: CoreMaintainer + Send + 'static {
+    /// `(histogram, degeneracy)` for snapshot publication. The default
+    /// derives both from [`CoreMaintainer::core_slice`] in `O(n)`;
+    /// engines with incremental level counts override it.
+    fn histogram_and_degeneracy(&self) -> (Vec<usize>, u32) {
+        let cores = self.core_slice();
+        let degeneracy = cores.iter().copied().max().unwrap_or(0);
+        let mut histogram = vec![0usize; degeneracy as usize + 1];
+        for &c in cores {
+            histogram[c as usize] += 1;
+        }
+        (histogram, degeneracy)
+    }
+
+    /// Writes the engine's persistent index form, if it has one. The
+    /// default reports unsupported — durability then requires an engine
+    /// that overrides this (the planner-driven order engine does).
+    fn persist_index(&mut self, _out: &mut dyn io::Write) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "engine has no persistent index form",
+        ))
+    }
+}
+
+impl IngestEngine for PlannedCore {
+    fn histogram_and_degeneracy(&self) -> (Vec<usize>, u32) {
+        // O(levels) — served from the incremental level counts, valid
+        // even while a recompute's order rebuild is deferred.
+        (self.core_histogram(), self.degeneracy())
+    }
+
+    fn persist_index(&mut self, out: &mut dyn io::Write) -> io::Result<()> {
+        // `order()` refreshes the deferred k-order first: the persisted
+        // form always round-trips through `OrderCore::load` validation.
+        self.order().save(out)
+    }
+}
+
+impl IngestEngine for TreapOrderCore {
+    fn histogram_and_degeneracy(&self) -> (Vec<usize>, u32) {
+        (self.core_histogram(), self.degeneracy())
+    }
+
+    fn persist_index(&mut self, out: &mut dyn io::Write) -> io::Result<()> {
+        self.save(out)
+    }
+}
+
+/// The oracle instantiation (decompose-per-batch); snapshot fields come
+/// from the defaults, durability is unsupported.
+impl IngestEngine for RecomputeCore {}
+
+/// Submission failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestError {
+    /// The bounded queue is at capacity (backpressure): retry, shed, or
+    /// switch to the blocking [`IngestService::submit`].
+    QueueFull,
+    /// The writer thread is gone (shut down, aborted, or panicked).
+    Closed,
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::QueueFull => write!(f, "ingest queue full"),
+            IngestError::Closed => write!(f, "ingest service closed"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Which clock drives interval flushes (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockMode {
+    /// Real time: the writer parks in `recv_timeout` until the flush
+    /// deadline of the oldest buffered event.
+    #[default]
+    Wall,
+    /// Time advances only via [`IngestService::tick`] messages;
+    /// deterministic on any host.
+    Scripted,
+}
+
+/// Service tunables.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Bounded-queue capacity — the backpressure depth.
+    pub queue_capacity: usize,
+    /// Flush when this many events are buffered.
+    pub max_batch: usize,
+    /// Flush when the oldest buffered event is this old (`u64::MAX`
+    /// disables interval flushes: size, explicit flush, shutdown only).
+    pub flush_interval_ns: u64,
+    /// Publish a snapshot every this many flushes (`1` = every batch;
+    /// explicit [`IngestService::flush`] always publishes).
+    pub publish_every_batches: usize,
+    /// Interval-flush time source.
+    pub clock: ClockMode,
+    /// Journal/snapshot persistence; `None` runs in-memory only.
+    pub durability: Option<DurabilityConfig>,
+    /// Planner configuration for engines spawned by the convenience
+    /// constructors ([`IngestService::spawn_planned`] and the recovery
+    /// path).
+    pub planner: PlannerConfig,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            queue_capacity: 1024,
+            max_batch: 256,
+            flush_interval_ns: 5_000_000, // 5 ms
+            publish_every_batches: 1,
+            clock: ClockMode::Wall,
+            durability: None,
+            planner: PlannerConfig::default(),
+        }
+    }
+}
+
+impl IngestConfig {
+    /// Scripted-clock config with interval flushes disabled by default —
+    /// the deterministic test shape (size/tick/flush-driven only).
+    pub fn scripted() -> Self {
+        IngestConfig {
+            clock: ClockMode::Scripted,
+            flush_interval_ns: u64::MAX,
+            ..IngestConfig::default()
+        }
+    }
+
+    /// Sets the micro-batch size cap.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Sets the bounded-queue capacity.
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_capacity = cap.max(1);
+        self
+    }
+
+    /// Sets the flush interval in nanoseconds.
+    pub fn flush_interval_ns(mut self, ns: u64) -> Self {
+        self.flush_interval_ns = ns;
+        self
+    }
+
+    /// Attaches durability.
+    pub fn durable(mut self, d: DurabilityConfig) -> Self {
+        self.durability = Some(d);
+        self
+    }
+}
+
+/// What the writer hands back at shutdown.
+#[derive(Debug, Default, Clone)]
+pub struct IngestReport {
+    /// Events the writer received.
+    pub events: u64,
+    /// Micro-batches flushed.
+    pub batches: u64,
+    /// Aggregate engine stats over every flush.
+    pub update_stats: UpdateStats,
+    /// Snapshots published.
+    pub epochs_published: u64,
+    /// Journal entries shipped to the sink.
+    pub entries_shipped: u64,
+    /// Index snapshots persisted.
+    pub snapshots_persisted: u64,
+    /// Per-flush apply+ship duration, writer-clock ns (the bench's p50 /
+    /// p99 batch-latency source; scripted clocks make these synthetic).
+    /// Bounded: a ring of the most recent [`LATENCY_SAMPLE_CAP`] flushes
+    /// — a long-lived writer must not grow a metric vector forever.
+    pub batch_apply_ns: Vec<u64>,
+}
+
+/// Retained per-flush latency samples (ring of the most recent; sample
+/// order within the vector is immaterial for percentiles).
+pub const LATENCY_SAMPLE_CAP: usize = 4096;
+
+enum Msg {
+    Event(GraphEvent),
+    Tick(u64),
+    Flush(mpsc::Sender<Arc<CoreSnapshot>>),
+    Subscribe(mpsc::Sender<Arc<CoreSnapshot>>),
+    Pause(mpsc::Sender<()>, mpsc::Receiver<()>),
+    Shutdown { graceful: bool },
+}
+
+/// Handle to a running ingest service. Cheap operations
+/// ([`IngestService::try_submit`], [`IngestService::snapshots`]) are
+/// `&self`; lifecycle operations consume the handle. Dropping the handle
+/// shuts the writer down gracefully (flushing pending events and taking
+/// a final persisted snapshot when durability is on).
+pub struct IngestService<M: IngestEngine = PlannedCore> {
+    tx: SyncSender<Msg>,
+    snapshots: SnapshotHandle,
+    writer: Option<JoinHandle<(IngestReport, Journaled<M>)>>,
+}
+
+impl IngestService<PlannedCore> {
+    /// Spawns the default planner-driven service over `graph`.
+    pub fn spawn_planned(graph: DynamicGraph, seed: u64, cfg: IngestConfig) -> io::Result<Self> {
+        let engine = PlannedCore::with_config(graph, seed, cfg.planner.clone());
+        Self::spawn_with_engine(engine, 0, cfg)
+    }
+
+    /// Resumes a recovered service: the engine continues from the
+    /// restored state and journaling continues at the recovered seq, so
+    /// the (re-opened, append-only) journal stays gap-free.
+    pub fn spawn_recovered(rec: Recovered, cfg: IngestConfig) -> io::Result<Self> {
+        Self::spawn_with_engine(rec.engine, rec.next_seq, cfg)
+    }
+}
+
+impl<M: IngestEngine> IngestService<M> {
+    /// Spawns the writer thread over an arbitrary engine. `start_seq` is
+    /// the journal sequence to resume at (0 for a fresh stream).
+    pub fn spawn_with_engine(mut engine: M, start_seq: u64, cfg: IngestConfig) -> io::Result<Self> {
+        // Open the sink on the caller's thread so setup errors surface
+        // synchronously instead of poisoning the writer.
+        let sink = match &cfg.durability {
+            Some(d) => {
+                let sink =
+                    JournalSink::open(&d.journal_path, engine.graph_ref().num_vertices(), d.fsync)?;
+                // Seqs appended by this service continue at `start_seq`;
+                // the file must hold exactly that many records or the
+                // gap-free invariant breaks. The dangerous misuse this
+                // rejects: a *fresh* spawn (start_seq 0) over a
+                // directory that already holds a journal — appending
+                // restarted seqs would make every later recovery read
+                // the old run's prefix and silently truncate the new
+                // run's records as a "torn tail". Resume with
+                // `recover()` + `spawn_recovered`, or point durability
+                // at a fresh directory.
+                if sink.existing() != start_seq {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "journal already holds {} events but the service would resume at seq \
+                             {start_seq}; recover() + spawn_recovered to continue this journal, \
+                             or use a fresh durability directory",
+                            sink.existing()
+                        ),
+                    ));
+                }
+                Some(sink)
+            }
+            None => None,
+        };
+        if let Some(d) = &cfg.durability {
+            // Checkpoint zero: the journal only records *events*, so a
+            // service spawned over a non-empty base graph must persist
+            // the base state once — otherwise a crash before the first
+            // periodic snapshot would lose the base edges irrecoverably.
+            // Also the point where a non-persistable engine fails fast.
+            if !d.snapshot_path.exists() {
+                let mut payload = Vec::new();
+                engine.persist_index(&mut payload)?;
+                write_snapshot_payload(&d.snapshot_path, start_seq, &payload)?;
+            }
+        }
+        let journaled = Journaled::with_start_seq(engine, start_seq);
+        let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
+        let writer = Writer {
+            engine: journaled,
+            cfg,
+            sink,
+            pending: Vec::new(),
+            batch_open_ns: None,
+            now_ns: 0,
+            origin: Instant::now(),
+            epoch: 0,
+            ops: start_seq,
+            published_ops: start_seq,
+            ship_cursor: start_seq,
+            batches_since_persist: 0,
+            subscribers: Vec::new(),
+            report: IngestReport::default(),
+        };
+        let snapshots = SnapshotHandle::new(writer.compose_snapshot());
+        let handle = snapshots.clone();
+        let thread = std::thread::Builder::new()
+            .name("kcore-ingest-writer".into())
+            .spawn(move || writer.run(rx, handle))
+            .expect("spawn ingest writer");
+        Ok(IngestService {
+            tx,
+            snapshots,
+            writer: Some(thread),
+        })
+    }
+
+    /// Non-blocking submission: `QueueFull` is the backpressure signal.
+    pub fn try_submit(&self, event: GraphEvent) -> Result<(), IngestError> {
+        match self.tx.try_send(Msg::Event(event)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(IngestError::QueueFull),
+            Err(TrySendError::Disconnected(_)) => Err(IngestError::Closed),
+        }
+    }
+
+    /// Blocking submission: waits for queue space (the natural producer
+    /// throttle when the writer is the bottleneck).
+    pub fn submit(&self, event: GraphEvent) -> Result<(), IngestError> {
+        self.tx
+            .send(Msg::Event(event))
+            .map_err(|_| IngestError::Closed)
+    }
+
+    /// Blocking submission of a whole stream, in order.
+    pub fn submit_all<I: IntoIterator<Item = GraphEvent>>(
+        &self,
+        events: I,
+    ) -> Result<usize, IngestError> {
+        let mut sent = 0;
+        for e in events {
+            self.submit(e)?;
+            sent += 1;
+        }
+        Ok(sent)
+    }
+
+    /// Advances the scripted clock (monotone ns). In wall mode ticks are
+    /// accepted but ignored for deadlines (real time governs).
+    pub fn tick(&self, now_ns: u64) -> Result<(), IngestError> {
+        self.tx
+            .send(Msg::Tick(now_ns))
+            .map_err(|_| IngestError::Closed)
+    }
+
+    /// Flush barrier: forces the pending micro-batch through, publishes,
+    /// and returns the resulting snapshot (which covers every event
+    /// submitted before this call).
+    pub fn flush(&self) -> Result<Arc<CoreSnapshot>, IngestError> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Flush(ack_tx))
+            .map_err(|_| IngestError::Closed)?;
+        ack_rx.recv().map_err(|_| IngestError::Closed)
+    }
+
+    /// The snapshot slot readers load from (clone per reader thread).
+    pub fn snapshots(&self) -> SnapshotHandle {
+        self.snapshots.clone()
+    }
+
+    /// Subscribes to every future snapshot publication (unbounded
+    /// buffering on the subscriber side — a test and audit hook, not a
+    /// flow-controlled consumer API).
+    pub fn subscribe(&self) -> Result<SnapshotReceiver, IngestError> {
+        let (tx, rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Subscribe(tx))
+            .map_err(|_| IngestError::Closed)?;
+        Ok(rx)
+    }
+
+    /// Parks the writer until the returned guard drops — deterministic
+    /// backpressure in tests (park, fill the queue, observe `QueueFull`)
+    /// and a maintenance hatch (quiesce without tearing down). Returns
+    /// once the writer is actually parked.
+    pub fn pause(&self) -> Result<IngestPause, IngestError> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Pause(ack_tx, release_rx))
+            .map_err(|_| IngestError::Closed)?;
+        ack_rx.recv().map_err(|_| IngestError::Closed)?;
+        Ok(IngestPause {
+            _release: release_tx,
+        })
+    }
+
+    /// Graceful shutdown: drains the queue, flushes the pending batch,
+    /// persists a final index snapshot (durability on), and returns the
+    /// report plus the engine for inspection.
+    pub fn shutdown(mut self) -> (IngestReport, M) {
+        let _ = self.tx.send(Msg::Shutdown { graceful: true });
+        let (report, journaled) = self
+            .writer
+            .take()
+            .expect("writer already joined")
+            .join()
+            .expect("ingest writer panicked");
+        (report, journaled.into_inner())
+    }
+
+    /// Unclean teardown: the writer stops at the next message without
+    /// flushing the pending batch and without a final persist — the
+    /// crash-simulation hook the recovery tests lean on. Events already
+    /// shipped to the journal survive; buffered ones are lost, exactly
+    /// like a kill would lose them.
+    pub fn abort(mut self) {
+        let _ = self.tx.send(Msg::Shutdown { graceful: false });
+        if let Some(h) = self.writer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<M: IngestEngine> Drop for IngestService<M> {
+    fn drop(&mut self) {
+        if let Some(h) = self.writer.take() {
+            let _ = self.tx.send(Msg::Shutdown { graceful: true });
+            let _ = h.join();
+        }
+    }
+}
+
+/// RAII guard from [`IngestService::pause`]; dropping it resumes the
+/// writer.
+pub struct IngestPause {
+    _release: mpsc::Sender<()>,
+}
+
+struct Writer<M: IngestEngine> {
+    engine: Journaled<M>,
+    cfg: IngestConfig,
+    sink: Option<JournalSink>,
+    pending: Vec<GraphEvent>,
+    /// Writer-clock time the current batch opened (first buffered event).
+    batch_open_ns: Option<u64>,
+    /// Scripted-clock value (scripted mode only).
+    now_ns: u64,
+    origin: Instant,
+    epoch: u64,
+    /// Events applied so far (prefix length; journal seqs `0..ops`).
+    ops: u64,
+    /// `ops` at the last publication (avoid republishing identical state).
+    published_ops: u64,
+    ship_cursor: u64,
+    batches_since_persist: usize,
+    subscribers: Vec<mpsc::Sender<Arc<CoreSnapshot>>>,
+    report: IngestReport,
+}
+
+impl<M: IngestEngine> Writer<M> {
+    fn now(&self) -> u64 {
+        match self.cfg.clock {
+            ClockMode::Wall => self.origin.elapsed().as_nanos() as u64,
+            ClockMode::Scripted => self.now_ns,
+        }
+    }
+
+    fn compose_snapshot(&self) -> CoreSnapshot {
+        let engine = self.engine.engine();
+        let (histogram, degeneracy) = engine.histogram_and_degeneracy();
+        CoreSnapshot {
+            epoch: self.epoch,
+            ops: self.ops,
+            num_vertices: engine.graph_ref().num_vertices(),
+            num_edges: engine.graph_ref().num_edges(),
+            cores: engine.core_slice().to_vec(),
+            histogram,
+            degeneracy,
+            published_at_ns: self.now(),
+        }
+    }
+
+    fn publish(&mut self, handle: &SnapshotHandle) {
+        self.epoch += 1;
+        let snap = Arc::new(self.compose_snapshot());
+        handle.publish(snap.clone());
+        self.subscribers.retain(|s| s.send(snap.clone()).is_ok());
+        self.published_ops = self.ops;
+        self.report.epochs_published += 1;
+    }
+
+    /// Applies the pending micro-batch, ships the journal tail, and
+    /// publishes per the cadence. The engine's batch entry points see
+    /// maximal same-kind runs (a micro-batch is at most `max_batch`
+    /// events, so `replay_batched` groups each run into one call).
+    fn flush(&mut self, handle: &SnapshotHandle) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let t0 = self.now();
+        let stats = replay_batched(
+            &mut self.engine,
+            self.pending.drain(..),
+            self.cfg.max_batch.max(1),
+        );
+        self.batch_open_ns = None;
+        self.ops = self.engine.next_seq();
+        self.report.update_stats.absorb(stats);
+        self.report.batches += 1;
+
+        // Ship the journal tail (incremental cursor: each entry exactly
+        // once). Without a sink the entries are dropped — the recorder
+        // is still what assigns seqs, so `ops` stays exact.
+        let tail = self.engine.drain_since(self.ship_cursor);
+        self.ship_cursor = self.engine.next_seq();
+        if let Some(sink) = &mut self.sink {
+            // Fail-stop on durability errors: a journal that silently
+            // stops growing would turn recovery into data loss.
+            sink.append(&tail).expect("journal append failed");
+        }
+        self.report.entries_shipped += tail.len() as u64;
+        let apply_ns = self.now().saturating_sub(t0);
+        if self.report.batch_apply_ns.len() < LATENCY_SAMPLE_CAP {
+            self.report.batch_apply_ns.push(apply_ns);
+        } else {
+            let slot = (self.report.batches - 1) as usize % LATENCY_SAMPLE_CAP;
+            self.report.batch_apply_ns[slot] = apply_ns;
+        }
+
+        if self
+            .report
+            .batches
+            .is_multiple_of(self.cfg.publish_every_batches.max(1) as u64)
+        {
+            self.publish(handle);
+        }
+        self.batches_since_persist += 1;
+        if let Some(d) = &self.cfg.durability {
+            if d.snapshot_every_batches > 0
+                && self.batches_since_persist >= d.snapshot_every_batches
+            {
+                self.persist(false);
+            }
+        }
+    }
+
+    /// Persists the index snapshot (final = graceful-shutdown variant,
+    /// which tolerates engines without a persistent form only when no
+    /// durability was requested — unreachable here since `cfg.durability`
+    /// gates the call).
+    fn persist(&mut self, _final_snapshot: bool) {
+        let d = self.cfg.durability.as_ref().expect("durability configured");
+        let ops = self.ops;
+        // Route through the engine's own persistence hook first so the
+        // trait stays the single seam; the planner engine writes the
+        // `OrderCore::save` payload, which `save_index_snapshot` wraps
+        // in the ops header.
+        let snapshot_path = d.snapshot_path.clone();
+        let engine = self.engine.engine_mut();
+        let mut payload: Vec<u8> = Vec::new();
+        engine
+            .persist_index(&mut payload)
+            .expect("engine cannot persist an index (durability requires one)");
+        write_snapshot_payload(&snapshot_path, ops, &payload).expect("snapshot write failed");
+        self.batches_since_persist = 0;
+        self.report.snapshots_persisted += 1;
+    }
+
+    fn deadline(&self) -> Option<u64> {
+        match (self.batch_open_ns, self.cfg.flush_interval_ns) {
+            (Some(open), interval) if interval != u64::MAX => Some(open.saturating_add(interval)),
+            _ => None,
+        }
+    }
+
+    fn run(mut self, rx: Receiver<Msg>, handle: SnapshotHandle) -> (IngestReport, Journaled<M>) {
+        loop {
+            // Wall mode parks until the flush deadline of the oldest
+            // buffered event; scripted mode blocks indefinitely (time
+            // only moves via Tick messages).
+            let msg = match (self.cfg.clock, self.deadline()) {
+                (ClockMode::Wall, Some(deadline)) => {
+                    let now = self.now();
+                    if now >= deadline {
+                        self.flush(&handle);
+                        continue;
+                    }
+                    match rx.recv_timeout(Duration::from_nanos(deadline - now)) {
+                        Ok(m) => m,
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            self.flush(&handle);
+                            continue;
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                _ => match rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => break, // all handles gone: graceful drain
+                },
+            };
+            match msg {
+                Msg::Event(e) => {
+                    if self.pending.is_empty() {
+                        self.batch_open_ns = Some(self.now());
+                    }
+                    self.pending.push(e);
+                    self.report.events += 1;
+                    if self.pending.len() >= self.cfg.max_batch.max(1) {
+                        self.flush(&handle);
+                    }
+                }
+                Msg::Tick(t) => {
+                    self.now_ns = self.now_ns.max(t);
+                    if let Some(deadline) = self.deadline() {
+                        if self.now() >= deadline {
+                            self.flush(&handle);
+                        }
+                    }
+                }
+                Msg::Flush(ack) => {
+                    self.flush(&handle);
+                    if self.published_ops != self.ops {
+                        self.publish(&handle);
+                    }
+                    let _ = ack.send(handle.load());
+                }
+                Msg::Subscribe(tx) => self.subscribers.push(tx),
+                Msg::Pause(ack, release) => {
+                    let _ = ack.send(());
+                    // Parked until the guard drops (sender disconnect).
+                    let _ = release.recv();
+                }
+                Msg::Shutdown { graceful } => {
+                    if !graceful {
+                        // Crash simulation: pending events and the final
+                        // persist are lost, shipped journal survives.
+                        return (self.report, self.engine);
+                    }
+                    break;
+                }
+            }
+        }
+        // Graceful exit: flush what's buffered, publish the final state,
+        // persist a last snapshot when durability is on.
+        self.flush(&handle);
+        if self.published_ops != self.ops {
+            self.publish(&handle);
+        }
+        if self.cfg.durability.is_some() {
+            self.persist(true);
+        }
+        (self.report, self.engine)
+    }
+}
+
+/// Writes the snapshot header + an already-serialised index payload via
+/// the temp-file + rename protocol. The format (magic, version, header)
+/// is owned by [`crate::durability`]; this indirection exists so the
+/// writer persists whatever the [`IngestEngine::persist_index`] hook
+/// produced instead of hard-coding one engine type.
+fn write_snapshot_payload(path: &std::path::Path, ops: u64, payload: &[u8]) -> io::Result<()> {
+    crate::durability::write_snapshot_bytes(path, ops, payload)
+}

@@ -1,0 +1,416 @@
+//! Service-level tests. Everything runs under the scripted clock — time
+//! only advances through `tick` messages on the writer's own channel, so
+//! every flush boundary, epoch, and journal byte is deterministic on any
+//! host, including the 1-CPU CI container.
+
+use crate::durability::{recover, DurabilityConfig};
+use crate::service::{ClockMode, IngestConfig, IngestEngine, IngestError, IngestService};
+use crate::sources::{apply_events, churn_events, window_event};
+use crate::GraphEvent;
+use kcore_decomp::core_decomposition;
+use kcore_gen::{barabasi_albert, churn_stream, timestamp_edges, SlidingWindow};
+use kcore_graph::DynamicGraph;
+use kcore_maint::{PlannerConfig, RecomputeCore};
+use std::path::PathBuf;
+
+fn path_graph(n: usize) -> DynamicGraph {
+    let mut g = DynamicGraph::with_vertices(n);
+    for v in 0..n as u32 - 1 {
+        g.insert_edge_unchecked(v, v + 1);
+    }
+    g
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("kcore_ingest_service").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn size_flush_publishes_epoch_snapshots() {
+    let svc = IngestService::spawn_planned(path_graph(5), 1, IngestConfig::scripted().max_batch(2))
+        .unwrap();
+    let snaps = svc.subscribe().unwrap();
+    let initial = svc.snapshots().load();
+    assert_eq!((initial.epoch, initial.ops), (0, 0));
+
+    svc.submit(GraphEvent::EdgeInserted(0, 2)).unwrap();
+    svc.submit(GraphEvent::EdgeInserted(0, 3)).unwrap(); // size-flush
+    let s1 = snaps.recv().unwrap();
+    assert_eq!((s1.epoch, s1.ops), (1, 2));
+    assert_eq!(s1.num_edges, 6);
+
+    // A reader holding the old epoch still sees its own consistent view.
+    assert_eq!(initial.num_edges, 4);
+
+    let (report, engine) = svc.shutdown();
+    assert_eq!(report.events, 2);
+    assert_eq!(report.batches, 1);
+    assert_eq!(report.epochs_published, 1);
+    assert_eq!(
+        engine.cores(),
+        &core_decomposition(&apply_events(
+            &path_graph(5),
+            &[
+                GraphEvent::EdgeInserted(0, 2),
+                GraphEvent::EdgeInserted(0, 3)
+            ]
+        ))[..]
+    );
+}
+
+#[test]
+fn scripted_ticks_drive_interval_flushes() {
+    let cfg = IngestConfig::scripted()
+        .max_batch(1000)
+        .flush_interval_ns(100);
+    let svc = IngestService::spawn_planned(path_graph(6), 2, cfg).unwrap();
+    let snaps = svc.subscribe().unwrap();
+
+    // Batch opens at scripted t=0; a tick inside the interval must not
+    // flush, one past it must.
+    svc.submit(GraphEvent::EdgeInserted(0, 2)).unwrap();
+    svc.tick(50).unwrap();
+    svc.tick(150).unwrap();
+    let s1 = snaps.recv().unwrap();
+    assert_eq!((s1.epoch, s1.ops), (1, 1));
+    assert_eq!(s1.published_at_ns, 150, "published on the flushing tick");
+
+    // Next batch opens at t=150: flush exactly at deadline 250.
+    svc.submit(GraphEvent::EdgeInserted(2, 4)).unwrap();
+    svc.tick(249).unwrap();
+    svc.tick(250).unwrap();
+    let s2 = snaps.recv().unwrap();
+    assert_eq!((s2.epoch, s2.ops), (2, 2));
+
+    let (report, _) = svc.shutdown();
+    assert_eq!(report.batches, 2);
+    // Scripted latencies are synthetic but recorded per flush.
+    assert_eq!(report.batch_apply_ns.len(), 2);
+}
+
+#[test]
+fn explicit_flush_is_a_barrier_covering_all_submitted() {
+    let svc =
+        IngestService::spawn_planned(path_graph(8), 3, IngestConfig::scripted().max_batch(1000))
+            .unwrap();
+    let events = [
+        GraphEvent::EdgeInserted(0, 7),
+        GraphEvent::EdgeInserted(2, 6),
+        GraphEvent::EdgeRemoved(3, 4),
+        GraphEvent::EdgeInserted(2, 6), // duplicate: skipped, still counted
+    ];
+    for &e in &events {
+        svc.submit(e).unwrap();
+    }
+    let snap = svc.flush().unwrap();
+    assert_eq!(snap.ops, events.len() as u64);
+    let oracle = apply_events(&path_graph(8), &events);
+    assert_eq!(snap.cores, core_decomposition(&oracle));
+    assert_eq!(snap.num_edges, oracle.num_edges());
+    // Histogram and degeneracy agree with the cores they ship with.
+    let max = snap.cores.iter().copied().max().unwrap();
+    assert_eq!(snap.degeneracy, max);
+    assert_eq!(snap.histogram.iter().sum::<usize>(), snap.num_vertices);
+    // Flushing again without new events republishes nothing.
+    let again = svc.flush().unwrap();
+    assert_eq!(again.epoch, snap.epoch);
+    let (report, _) = svc.shutdown();
+    assert_eq!(report.update_stats.skipped, 1);
+}
+
+#[test]
+fn bounded_queue_reports_queue_full_under_backpressure() {
+    let svc = IngestService::spawn_planned(
+        path_graph(4),
+        4,
+        IngestConfig::scripted().queue_capacity(3).max_batch(1000),
+    )
+    .unwrap();
+    // Park the writer: the queue is drained (the pause ack proves the
+    // writer consumed everything before parking), then fills to exactly
+    // the configured bound.
+    let pause = svc.pause().unwrap();
+    for i in 0..3u32 {
+        svc.try_submit(GraphEvent::EdgeInserted(0, 2 + (i % 2)))
+            .unwrap();
+    }
+    assert_eq!(
+        svc.try_submit(GraphEvent::EdgeInserted(1, 3)),
+        Err(IngestError::QueueFull),
+        "capacity-th + 1 submission must backpressure"
+    );
+    drop(pause); // resume
+    let snap = svc.flush().unwrap();
+    assert_eq!(snap.ops, 3, "rejected event was genuinely not enqueued");
+    let (report, _) = svc.shutdown();
+    assert_eq!(report.events, 3);
+}
+
+#[test]
+fn drop_is_graceful_and_abort_is_not() {
+    // Graceful drop: pending events are flushed and published before the
+    // writer exits; the snapshot handle outlives the service.
+    let svc = IngestService::spawn_planned(path_graph(3), 1, IngestConfig::scripted()).unwrap();
+    let handle = svc.snapshots();
+    let snaps = svc.subscribe().unwrap();
+    svc.submit(GraphEvent::EdgeInserted(0, 2)).unwrap();
+    drop(svc);
+    let last = snaps.recv().unwrap();
+    assert_eq!(last.ops, 1);
+    assert!(snaps.recv().is_err(), "writer gone after drop");
+    assert_eq!(handle.load().ops, 1, "handle still serves the final epoch");
+
+    // Abort: the buffered event is dropped on the floor — the published
+    // state never advances past what was flushed.
+    let svc = IngestService::spawn_planned(path_graph(3), 1, IngestConfig::scripted()).unwrap();
+    let handle = svc.snapshots();
+    svc.submit(GraphEvent::EdgeInserted(0, 2)).unwrap();
+    svc.abort();
+    assert_eq!(handle.load().ops, 0, "aborted writer must not flush");
+}
+
+#[test]
+fn churn_stream_end_to_end_matches_oracle() {
+    // The acceptance workload, test-sized: a full churn stream through
+    // the service, mixed flush triggers, final state bit-identical to
+    // the recompute oracle.
+    let base = barabasi_albert(80, 3, 7);
+    let svc =
+        IngestService::spawn_planned(base.clone(), 11, IngestConfig::scripted().max_batch(32))
+            .unwrap();
+    let mut all_events: Vec<GraphEvent> = Vec::new();
+    for (i, b) in churn_stream(&base, 10, 12, 8, 23).iter().enumerate() {
+        for e in churn_events(b) {
+            all_events.push(e);
+            svc.submit(e).unwrap();
+        }
+        if i % 3 == 0 {
+            let snap = svc.flush().unwrap();
+            // Snapshot consistency at an arbitrary mid-stream barrier.
+            let oracle = apply_events(&base, &all_events[..snap.ops as usize]);
+            assert_eq!(snap.cores, core_decomposition(&oracle));
+        }
+    }
+    let (report, engine) = svc.shutdown();
+    assert_eq!(report.events, all_events.len() as u64);
+    assert_eq!(report.update_stats.skipped, 0, "churn streams replay clean");
+    let oracle = apply_events(&base, &all_events);
+    assert_eq!(engine.cores(), &core_decomposition(&oracle)[..]);
+}
+
+#[test]
+fn sliding_window_stream_drains_to_empty() {
+    let g = barabasi_albert(50, 2, 19);
+    let n = 50;
+    let ts = timestamp_edges(&g, 3, 5);
+    let svc = IngestService::spawn_planned(
+        DynamicGraph::with_vertices(n),
+        13,
+        IngestConfig::scripted().max_batch(16),
+    )
+    .unwrap();
+    let mut live = DynamicGraph::with_vertices(n);
+    let mut steps = 0usize;
+    for op in SlidingWindow::new(ts, 30) {
+        match op {
+            kcore_gen::WindowOp::Admit(u, v) => live.insert_edge_unchecked(u, v),
+            kcore_gen::WindowOp::Expire(u, v) => {
+                live.remove_edge(u, v).unwrap();
+            }
+        }
+        svc.submit(window_event(op)).unwrap();
+        steps += 1;
+        if steps.is_multiple_of(37) {
+            let snap = svc.flush().unwrap();
+            assert_eq!(snap.cores, core_decomposition(&live));
+            assert_eq!(snap.num_edges, live.num_edges());
+        }
+    }
+    let (report, engine) = svc.shutdown();
+    assert_eq!(report.update_stats.skipped, 0);
+    assert_eq!(engine.graph().num_edges(), 0, "window fully expired");
+    assert!(engine.cores().iter().all(|&c| c == 0));
+}
+
+#[test]
+fn recompute_engine_runs_the_generic_service() {
+    // CoreMaintainer-generic: the oracle engine through the same loop.
+    let base = path_graph(6);
+    let svc = IngestService::spawn_with_engine(
+        RecomputeCore::new(base.clone()),
+        0,
+        IngestConfig::scripted().max_batch(2),
+    )
+    .unwrap();
+    let events = [
+        GraphEvent::EdgeInserted(0, 5),
+        GraphEvent::EdgeInserted(1, 4),
+        GraphEvent::EdgeRemoved(2, 3),
+    ];
+    for &e in &events {
+        svc.submit(e).unwrap();
+    }
+    let snap = svc.flush().unwrap();
+    assert_eq!(
+        snap.cores,
+        core_decomposition(&apply_events(&path_graph(6), &events))
+    );
+    // Default histogram hook: consistent with the cores.
+    assert_eq!(snap.histogram.iter().sum::<usize>(), 6);
+    let (_, engine) = svc.shutdown();
+    // No persistent index form on this engine.
+    let mut sinkhole = Vec::new();
+    let mut engine = engine;
+    assert!(engine.persist_index(&mut sinkhole).is_err());
+}
+
+#[test]
+fn durable_roundtrip_recovers_graceful_shutdown_state() {
+    let dir = tmpdir("graceful");
+    let d = DurabilityConfig::in_dir(&dir).snapshot_every(2);
+    let base = barabasi_albert(60, 3, 3);
+    let svc = IngestService::spawn_planned(
+        base.clone(),
+        17,
+        IngestConfig::scripted().max_batch(16).durable(d.clone()),
+    )
+    .unwrap();
+    let mut events = Vec::new();
+    for b in churn_stream(&base, 6, 10, 6, 5) {
+        for e in churn_events(&b) {
+            events.push(e);
+            svc.submit(e).unwrap();
+        }
+        svc.flush().unwrap();
+    }
+    let (report, engine) = svc.shutdown();
+    assert!(report.snapshots_persisted >= 3, "periodic + final persists");
+    assert_eq!(report.entries_shipped, events.len() as u64);
+
+    let rec = recover(&d, 99, PlannerConfig::default(), 64).unwrap();
+    assert!(rec.from_snapshot);
+    assert!(!rec.torn_tail);
+    assert_eq!(rec.next_seq, events.len() as u64);
+    assert_eq!(rec.engine.cores(), engine.cores());
+    // The final persist covers everything: zero tail replay needed.
+    assert_eq!(rec.replayed, 0);
+
+    // A *fresh* spawn over the populated durability dir must be refused:
+    // its seqs would restart at 0 and corrupt the journal's gap-free
+    // invariant (resume goes through recover() + spawn_recovered).
+    assert!(IngestService::spawn_planned(
+        base.clone(),
+        17,
+        IngestConfig::scripted().durable(d.clone()),
+    )
+    .is_err());
+    let rec = recover(&d, 99, PlannerConfig::default(), 64).unwrap();
+    let resumed =
+        IngestService::spawn_recovered(rec, IngestConfig::scripted().durable(d.clone())).unwrap();
+    resumed.submit(GraphEvent::EdgeInserted(0, 59)).unwrap();
+    let snap = resumed.flush().unwrap();
+    assert_eq!(snap.ops, events.len() as u64 + 1, "seq resumed, not reset");
+}
+
+#[test]
+fn crash_recovery_matches_never_crashed_run() {
+    let dir = tmpdir("crash");
+    let d = DurabilityConfig::in_dir(&dir); // snapshots only on demand
+    let base = barabasi_albert(70, 3, 29);
+
+    // Build the full stream up front; split into a flushed prefix A and
+    // an in-flight suffix B that never reaches the journal.
+    let mut stream: Vec<GraphEvent> = Vec::new();
+    for b in churn_stream(&base, 8, 9, 7, 41) {
+        stream.extend(churn_events(&b));
+    }
+    let cut = stream.len() * 2 / 3;
+    let (part_a, part_b) = stream.split_at(cut);
+
+    let svc = IngestService::spawn_planned(
+        base.clone(),
+        31,
+        IngestConfig::scripted().max_batch(24).durable(d.clone()),
+    )
+    .unwrap();
+    for &e in part_a {
+        svc.submit(e).unwrap();
+    }
+    svc.flush().unwrap(); // A is applied AND journaled
+    for &e in part_b {
+        svc.submit(e).unwrap(); // B stays buffered (|B| < max_batch won't
+                                // hold in general — but no tick and no
+                                // flush means only size-flushes fire)
+    }
+    svc.abort(); // crash: pending + queued B lost, journal keeps A's prefix
+
+    // Recovery must reproduce a never-crashed run over the journaled
+    // prefix: checkpoint zero (persisted at spawn, covering the base
+    // graph and nothing else) + the whole journaled tail replayed
+    // through the planner.
+    let rec = recover(&d, 57, PlannerConfig::default(), 32).unwrap();
+    assert!(rec.from_snapshot, "checkpoint zero must exist");
+    let journaled = rec.next_seq as usize;
+    assert!(journaled >= part_a.len(), "flushed prefix must be durable");
+    let clean = {
+        let svc =
+            IngestService::spawn_planned(base.clone(), 77, IngestConfig::scripted().max_batch(24))
+                .unwrap();
+        for &e in &stream[..journaled] {
+            svc.submit(e).unwrap();
+        }
+        svc.shutdown().1
+    };
+    assert_eq!(rec.engine.cores(), clean.cores());
+    assert_eq!(
+        rec.engine.cores(),
+        &core_decomposition(&apply_events(&base, &stream[..journaled]))[..]
+    );
+
+    // Resume the recovered service, feed the lost suffix again, and the
+    // final state matches a run that never crashed at all.
+    let resumed = IngestService::spawn_recovered(
+        rec,
+        IngestConfig::scripted().max_batch(24).durable(d.clone()),
+    )
+    .unwrap();
+    for &e in &stream[journaled..] {
+        resumed.submit(e).unwrap();
+    }
+    let (_, engine) = resumed.shutdown();
+    assert_eq!(
+        engine.cores(),
+        &core_decomposition(&apply_events(&base, &stream))[..]
+    );
+
+    // And the re-opened journal is gap-free: a final recovery replays
+    // the whole stream.
+    let rec2 = recover(&d, 5, PlannerConfig::default(), 64).unwrap();
+    assert_eq!(rec2.next_seq, stream.len() as u64);
+    assert_eq!(rec2.engine.cores(), engine.cores());
+}
+
+#[test]
+fn wall_clock_mode_flushes_by_interval() {
+    // The one wall-clock test: a real-time service must eventually
+    // interval-flush a sub-batch-size buffer without an explicit flush.
+    // Generous interval (10 ms) keeps this robust on a loaded 1-CPU
+    // host; determinism-sensitive properties live in the scripted tests.
+    let cfg = IngestConfig {
+        clock: ClockMode::Wall,
+        flush_interval_ns: 10_000_000,
+        max_batch: 1000,
+        ..IngestConfig::default()
+    };
+    let svc = IngestService::spawn_planned(path_graph(4), 3, cfg).unwrap();
+    let snaps = svc.subscribe().unwrap();
+    svc.submit(GraphEvent::EdgeInserted(0, 2)).unwrap();
+    let snap = snaps
+        .recv_timeout(std::time::Duration::from_secs(30))
+        .expect("interval flush must fire");
+    assert_eq!(snap.ops, 1);
+    svc.shutdown();
+}

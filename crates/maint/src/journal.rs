@@ -67,14 +67,45 @@ impl<M: CoreMaintainer> Journaled<M> {
         }
     }
 
+    /// Wraps an engine whose history up to `start_seq` has already been
+    /// journaled elsewhere — the recovery path: a service restored from a
+    /// snapshot + journal tail resumes recording where the old journal
+    /// left off, so shipped sequence numbers stay globally monotone.
+    pub fn with_start_seq(engine: M, start_seq: u64) -> Self {
+        let mut j = Journaled::new(engine);
+        j.next_seq = start_seq;
+        j
+    }
+
     /// The wrapped engine (read access).
     pub fn engine(&self) -> &M {
         &self.engine
     }
 
+    /// The wrapped engine, mutably. Mutating the graph or cores through
+    /// this reference without going through the journaled entry points
+    /// desynchronises the transition shadow — it exists for operations
+    /// that leave core numbers untouched (index persistence, deferred
+    /// order rebuilds, scratch maintenance).
+    pub fn engine_mut(&mut self) -> &mut M {
+        &mut self.engine
+    }
+
+    /// Unwraps the engine, discarding any unshipped entries.
+    pub fn into_inner(self) -> M {
+        self.engine
+    }
+
     /// Recorded entries, oldest first.
     pub fn entries(&self) -> &[JournalEntry] {
         &self.entries
+    }
+
+    /// The sequence number the next recorded entry will get — the tail
+    /// cursor a shipping consumer persists between
+    /// [`Journaled::drain_since`] rounds.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 
     /// Drops recorded entries (e.g. after a consumer flush), keeping the
@@ -83,28 +114,28 @@ impl<M: CoreMaintainer> Journaled<M> {
         std::mem::take(&mut self.entries)
     }
 
+    /// Incremental shipping: drains the buffer and returns only the
+    /// entries with `seq >= min_seq` (entries below the cursor were
+    /// already shipped in an earlier round and are discarded). Calling in
+    /// a loop with `min_seq = next_seq()` from the previous round yields
+    /// every entry exactly once, in order, with no gaps — the contract
+    /// the append-only journal sink relies on.
+    pub fn drain_since(&mut self, min_seq: u64) -> Vec<JournalEntry> {
+        let entries = std::mem::take(&mut self.entries);
+        // Entries are pushed with strictly increasing seq, so the cutoff
+        // is a partition point.
+        let cut = entries.partition_point(|e| e.seq < min_seq);
+        let mut tail = entries;
+        tail.drain(..cut);
+        tail
+    }
+
     fn record(&mut self, event: GraphEvent, stats: &UpdateStats) {
         // The engine reports how many vertices changed; only diff against
         // the shadow when something did, and only around the touched
         // region — we walk the engine's core slice lazily: since
         // |V*| = stats.changed, scan until that many diffs are found.
-        let mut transitions = Vec::with_capacity(stats.changed);
-        if stats.changed > 0 {
-            let cores = self.engine.core_slice();
-            // grow shadow for vertices added since the last snapshot
-            if self.shadow.len() < cores.len() {
-                self.shadow.resize(cores.len(), 0);
-            }
-            for (v, &c) in cores.iter().enumerate() {
-                if c != self.shadow[v] {
-                    transitions.push((v as VertexId, self.shadow[v], c));
-                    self.shadow[v] = c;
-                    if transitions.len() == stats.changed {
-                        break;
-                    }
-                }
-            }
-        }
+        let transitions = self.diff_shadow(stats.changed);
         self.entries.push(JournalEntry {
             seq: self.next_seq,
             event,
@@ -127,6 +158,81 @@ impl<M: CoreMaintainer> Journaled<M> {
         Ok(stats)
     }
 
+    /// Collects the net core transitions since the last shadow sync
+    /// (bounded by `changed`, see [`Journaled::record`]) and syncs the
+    /// shadow.
+    fn diff_shadow(&mut self, changed: usize) -> Vec<(VertexId, u32, u32)> {
+        let mut transitions = Vec::with_capacity(changed.min(self.shadow.len()));
+        if changed > 0 {
+            let cores = self.engine.core_slice();
+            if self.shadow.len() < cores.len() {
+                self.shadow.resize(cores.len(), 0);
+            }
+            for (v, &c) in cores.iter().enumerate() {
+                if c != self.shadow[v] {
+                    transitions.push((v as VertexId, self.shadow[v], c));
+                    self.shadow[v] = c;
+                    if transitions.len() == changed {
+                        break;
+                    }
+                }
+            }
+        }
+        transitions
+    }
+
+    /// Journals one batch: an event per submitted edge (skipped entries
+    /// included — replay through any engine's batch entry points skips
+    /// them identically), with the batch's **net** core transitions
+    /// attached to the last entry. Events stay per-edge so
+    /// [`replay_batched`] reproduces the graph exactly; transitions are
+    /// batch-granular because a multi-seed pass resolves them jointly —
+    /// there is no per-edge attribution to recover.
+    fn record_batch(
+        &mut self,
+        inserting: bool,
+        edges: &[(VertexId, VertexId)],
+        stats: &UpdateStats,
+    ) {
+        if edges.is_empty() {
+            return;
+        }
+        let transitions = self.diff_shadow(stats.changed);
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            let event = if inserting {
+                GraphEvent::EdgeInserted(u, v)
+            } else {
+                GraphEvent::EdgeRemoved(u, v)
+            };
+            self.entries.push(JournalEntry {
+                seq: self.next_seq,
+                event,
+                transitions: if i + 1 == edges.len() {
+                    transitions.clone()
+                } else {
+                    Vec::new()
+                },
+            });
+            self.next_seq += 1;
+        }
+    }
+
+    /// Inserts a batch through the engine's batch entry point, journaling
+    /// every submitted edge (see [`Journaled::record_batch`]).
+    pub fn insert_batch(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateStats {
+        let stats = self.engine.insert_batch(edges);
+        self.record_batch(true, edges, &stats);
+        stats
+    }
+
+    /// Removes a batch through the engine's batch entry point, journaling
+    /// every submitted edge (see [`Journaled::record_batch`]).
+    pub fn remove_batch(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateStats {
+        let stats = self.engine.remove_batch(edges);
+        self.record_batch(false, edges, &stats);
+        stats
+    }
+
     /// The journaled event stream (no transitions), oldest first — the
     /// input [`replay_batched`] consumes.
     pub fn events(&self) -> impl Iterator<Item = GraphEvent> + '_ {
@@ -147,6 +253,47 @@ impl<M: CoreMaintainer> Journaled<M> {
             }
         }
         out
+    }
+}
+
+/// A [`Journaled`] engine is itself a [`CoreMaintainer`]: updates route
+/// through the journaled entry points (batches via
+/// [`Journaled::insert_batch`] / [`Journaled::remove_batch`], so the
+/// wrapped engine's genuine batch path — for [`crate::PlannedCore`], the
+/// planner dispatch — is preserved while every event is recorded). This
+/// is what lets the streaming ingest writer treat "apply a micro-batch"
+/// and "journal it for shipping" as one operation.
+impl<M: CoreMaintainer> CoreMaintainer for Journaled<M> {
+    fn insert(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
+        self.insert_edge(u, v)
+    }
+
+    fn remove(&mut self, u: VertexId, v: VertexId) -> Result<UpdateStats, EdgeListError> {
+        self.remove_edge(u, v)
+    }
+
+    fn insert_batch(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateStats {
+        Journaled::insert_batch(self, edges)
+    }
+
+    fn remove_batch(&mut self, edges: &[(VertexId, VertexId)]) -> UpdateStats {
+        Journaled::remove_batch(self, edges)
+    }
+
+    fn core_of(&self, v: VertexId) -> u32 {
+        self.engine.core_of(v)
+    }
+
+    fn core_slice(&self) -> &[u32] {
+        self.engine.core_slice()
+    }
+
+    fn graph_ref(&self) -> &kcore_graph::DynamicGraph {
+        self.engine.graph_ref()
+    }
+
+    fn name(&self) -> String {
+        format!("Journaled<{}>", self.engine.name())
     }
 }
 
@@ -272,6 +419,121 @@ mod tests {
             assert_eq!(stats.skipped, 0, "journaled events are always valid");
             assert_eq!(replayed.cores(), j.engine().cores());
             replayed.validate();
+        }
+    }
+
+    #[test]
+    fn drain_since_ships_each_entry_exactly_once() {
+        let engine = TreapOrderCore::new(fixtures::path(8), 1);
+        let mut j = Journaled::new(engine);
+        let mut cursor = j.next_seq();
+        let mut shipped: Vec<u64> = Vec::new();
+        let mut ship = |j: &mut Journaled<TreapOrderCore>, cursor: &mut u64| {
+            let tail = j.drain_since(*cursor);
+            for e in &tail {
+                shipped.push(e.seq);
+            }
+            *cursor = j.next_seq();
+        };
+        j.insert_edge(0, 2).unwrap();
+        j.insert_edge(0, 3).unwrap();
+        ship(&mut j, &mut cursor);
+        // Nothing new: a second round with the same cursor ships nothing.
+        ship(&mut j, &mut cursor);
+        j.remove_edge(0, 2).unwrap();
+        j.insert_batch(&[(0, 4), (1, 5), (0, 4)]); // dup journaled too
+        ship(&mut j, &mut cursor);
+        // Monotone, gap-free, complete: exactly seqs 0..next_seq.
+        assert_eq!(shipped, (0..j.next_seq()).collect::<Vec<u64>>());
+        assert_eq!(shipped.len(), 6);
+    }
+
+    #[test]
+    fn cursor_stays_monotone_across_index_snapshots() {
+        // The ingest shape: ship, persist the index, keep updating, ship
+        // again — and after a restore, resume the sequence where the old
+        // journal left off via `with_start_seq`.
+        let mut j = Journaled::new(TreapOrderCore::new(fixtures::path(6), 2));
+        j.insert_edge(0, 2).unwrap();
+        j.insert_edge(3, 5).unwrap();
+        let mut cursor = 0u64;
+        let first = j.drain_since(cursor);
+        cursor = j.next_seq();
+        assert_eq!(first.last().unwrap().seq, 1);
+
+        // Persist the index mid-stream; the journal cursor is unaffected.
+        let mut buf = Vec::new();
+        j.engine().save(&mut buf).unwrap();
+        j.insert_edge(1, 4).unwrap();
+        let second = j.drain_since(cursor);
+        cursor = j.next_seq();
+        assert_eq!(second.iter().map(|e| e.seq).collect::<Vec<_>>(), [2]);
+
+        // Restore from the snapshot + resume at the shipped cursor: new
+        // entries continue the sequence with no overlap and no gap.
+        let restored = TreapOrderCore::load(&buf[..], 2).unwrap();
+        let mut resumed = Journaled::with_start_seq(restored, cursor);
+        assert_eq!(resumed.next_seq(), 3);
+        resumed.insert_edge(1, 3).unwrap();
+        let third = resumed.drain_since(cursor);
+        assert_eq!(third.iter().map(|e| e.seq).collect::<Vec<_>>(), [3]);
+    }
+
+    #[test]
+    fn batch_journaling_records_events_and_net_transitions() {
+        let mut j = Journaled::new(TreapOrderCore::new(fixtures::path(4), 1));
+        // Closing the cycle promotes all four vertices to the 2-core.
+        let stats = j.insert_batch(&[(3, 0), (0, 2), (2, 2)]);
+        assert_eq!(stats.skipped, 1, "self-loop skipped by the engine");
+        let es = j.entries();
+        assert_eq!(es.len(), 3, "every submitted edge journaled");
+        assert_eq!(es[0].event, GraphEvent::EdgeInserted(3, 0));
+        assert_eq!(es[2].event, GraphEvent::EdgeInserted(2, 2));
+        // Net transitions ride on the last entry of the batch.
+        assert!(es[0].transitions.is_empty() && es[1].transitions.is_empty());
+        assert_eq!(es[2].transitions.len(), 4);
+        assert!(es[2].transitions.iter().all(|&(_, o, n)| o == 1 && n == 2));
+        // And the events replay to the same engine state.
+        let mut replayed = TreapOrderCore::new(fixtures::path(4), 7);
+        let rs = replay_batched(&mut replayed, j.events(), 64);
+        assert_eq!(rs.skipped, 1, "journaled dup skipped identically");
+        assert_eq!(replayed.cores(), j.engine().cores());
+    }
+
+    #[test]
+    fn planned_replay_matches_sequential_replay() {
+        // ROADMAP PR-4 leftover: journal-replay batch sizes flow through
+        // the planner. Replaying through a `PlannedCore` under
+        // `PlanPolicy::Auto` (every batch priced, possibly recomputed)
+        // must be bit-identical to an event-at-a-time sequential replay.
+        use crate::{PlanPolicy, PlannedTreapCore};
+        use kcore_gen::{barabasi_albert, churn_stream};
+
+        let base = barabasi_albert(120, 3, 21);
+        let mut j = Journaled::new(TreapOrderCore::new(base.clone(), 1));
+        for b in churn_stream(&base, 12, 9, 6, 33) {
+            j.insert_batch(&b.inserts);
+            j.remove_batch(&b.removes);
+        }
+
+        // Sequential oracle: one event at a time on a plain engine.
+        let mut seq_engine = TreapOrderCore::new(base.clone(), 5);
+        let seq_stats = replay_batched(&mut seq_engine, j.events(), 1);
+
+        for max_batch in [4, 64, 1024] {
+            let mut planned = PlannedTreapCore::with_policy(base.clone(), 9, PlanPolicy::Auto);
+            let stats = replay_batched(&mut planned, j.events(), max_batch);
+            assert_eq!(stats.skipped, seq_stats.skipped);
+            assert_eq!(
+                planned.cores(),
+                seq_engine.cores(),
+                "planned replay diverged at max_batch {max_batch}"
+            );
+            let decided = planned.planner_stats().batched_chosen
+                + planned.planner_stats().split_chosen
+                + planned.planner_stats().recompute_chosen;
+            assert!(decided > 0, "replay batches must route through the planner");
+            planned.validate();
         }
     }
 

@@ -1,0 +1,103 @@
+//! Streaming-ingest scenario: a writer thread maintains core numbers
+//! under a live churn stream while reader threads answer "who is in the
+//! engaged community right now?" from epoch snapshots — never blocking
+//! the writer, never seeing a half-applied batch. A journal + checkpoint
+//! make the stream survive a crash.
+//!
+//! Run with: `cargo run --release --example streaming_ingest`
+
+use kcore::gen::{barabasi_albert, churn_stream};
+use kcore::ingest::durability::DurabilityConfig;
+use kcore::ingest::recover;
+use kcore::ingest::sources::churn_events;
+use kcore::{IngestConfig, IngestService, PlannerConfig};
+
+fn main() {
+    let base = barabasi_albert(20_000, 5, 42);
+    println!(
+        "base graph: {} vertices, {} edges",
+        base.num_vertices(),
+        base.num_edges()
+    );
+
+    let dir = std::env::temp_dir().join("kcore_streaming_ingest_example");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let durability = DurabilityConfig::in_dir(&dir).snapshot_every(64);
+
+    let svc = IngestService::spawn_planned(
+        base.clone(),
+        7,
+        IngestConfig::default()
+            .max_batch(512)
+            .queue_capacity(4096)
+            .durable(durability.clone()),
+    )
+    .expect("spawn ingest service");
+
+    // A reader thread polls snapshots while the stream flows: it holds a
+    // consistent epoch for as long as it likes and is never blocked by
+    // the writer's batch work.
+    let handle = svc.snapshots();
+    let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let done_reader = done.clone();
+    let reader = std::thread::spawn(move || {
+        let mut last_epoch = 0;
+        let mut epochs_seen = 0usize;
+        loop {
+            let snap = handle.load();
+            if snap.epoch > last_epoch {
+                last_epoch = snap.epoch;
+                epochs_seen += 1;
+                if epochs_seen.is_multiple_of(10) {
+                    println!(
+                        "  reader: epoch {:>4} covers {:>6} events — degeneracy {}, |{}-core| = {}",
+                        snap.epoch,
+                        snap.ops,
+                        snap.degeneracy,
+                        snap.degeneracy,
+                        snap.kcore_members(snap.degeneracy).len()
+                    );
+                }
+            } else if done_reader.load(std::sync::atomic::Ordering::Acquire) {
+                break epochs_seen;
+            }
+            std::thread::yield_now();
+        }
+    });
+
+    // The producer: 200 churn micro-batches of mixed inserts/removals,
+    // with blocking submission as the backpressure valve.
+    let mut submitted = 0usize;
+    for batch in churn_stream(&base, 200, 96, 64, 99) {
+        for e in churn_events(&batch) {
+            svc.submit(e).expect("writer alive");
+            submitted += 1;
+        }
+    }
+    let final_snap = svc.flush().expect("flush barrier");
+    println!(
+        "submitted {submitted} events; final epoch {} covers {} events",
+        final_snap.epoch, final_snap.ops
+    );
+    let (report, engine) = svc.shutdown();
+    done.store(true, std::sync::atomic::Ordering::Release);
+    println!(
+        "writer: {} batches, {} journal entries shipped, {} checkpoints",
+        report.batches, report.entries_shipped, report.snapshots_persisted
+    );
+    let epochs_seen = reader.join().unwrap();
+    println!("reader observed {epochs_seen} distinct epochs");
+
+    // Crash-free restart proof: recover from journal + checkpoint and
+    // compare against the live engine we just shut down.
+    let rec = recover(&durability, 1, PlannerConfig::default(), 512).expect("recover");
+    assert_eq!(rec.engine.cores(), engine.cores());
+    println!(
+        "recovered {} events from {} (replayed {} past the checkpoint) — state identical",
+        rec.next_seq,
+        dir.display(),
+        rec.replayed
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

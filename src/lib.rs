@@ -42,16 +42,19 @@
 //! | [`traversal`] | `kcore-traversal` | the Sariyüce et al. baseline, `Trav-h` |
 //! | [`maint`] | `kcore-maint` | `OrderInsert` / `OrderRemoval` (the paper) |
 //! | [`gen`] | `kcore-gen` | generators, dataset registry, samplers |
+//! | [`ingest`] | `kcore-ingest` | streaming ingest service, snapshots, durability |
 
 pub use kcore_decomp as decomp;
 pub use kcore_gen as gen;
 pub use kcore_graph as graph;
+pub use kcore_ingest as ingest;
 pub use kcore_maint as maint;
 pub use kcore_order as order;
 pub use kcore_traversal as traversal;
 
 pub use kcore_decomp::{core_decomposition, korder_decomposition, Heuristic};
 pub use kcore_graph::{DynamicGraph, VertexId};
+pub use kcore_ingest::{CoreSnapshot, GraphEvent, IngestConfig, IngestService};
 pub use kcore_maint::{
     CoreMaintainer, PlanPolicy, PlannedTreapCore, PlannerConfig, RecomputeCore, SkipOrderCore,
     TagOrderCore, TreapOrderCore, UpdateStats,
