@@ -16,13 +16,30 @@
 //!   index checkpoints, plus the `recover()` time to rebuild the final
 //!   state from disk.
 //!
+//! Two publication-cost experiments ride along (the copy-on-write
+//! snapshot layer's before/after evidence):
+//!
+//! * **churn_lean** — the churn workload with a 4× smaller queue: the
+//!   bounded queue is the staleness budget (staleness ≈ queue occupancy
+//!   under blocking submit), and the cheap COW publish path keeps
+//!   throughput at the big-queue level while staleness p50 drops
+//!   proportionally;
+//! * **publish scaling** — the *identical* churn stream over a fixed
+//!   active region embedded in a growing vertex universe: per-flush
+//!   snapshot-maintenance time (`publish_ns`) must stay roughly flat
+//!   (it is O(changed) chunk copies + O(chunks) `Arc` bumps), while the
+//!   old full-rebuild cost — modelled as an O(n) cores copy + histogram
+//!   rescan, timed on the same data — grows linearly with the universe.
+//!   `--max-publish-cost-ratio R` gates the growth ratio between the
+//!   largest and smallest |V|.
+//!
 //! Every section's final core numbers are asserted equal to the
 //! recompute oracle before any number is reported. `--min-ingest-throughput R`
-//! turns the churn edges/sec into a CI exit gate; the gate is **waived
-//! with a loud note** (recorded in the JSON, matching `BENCH_par.json`)
-//! on hosts with fewer than 2 cores — producer and writer are separate
-//! threads, so a 1-core container measures time-slicing, not pipeline
-//! throughput.
+//! turns the churn edges/sec into a CI exit gate; both gates are
+//! **waived with a loud note** (recorded in the JSON, matching
+//! `BENCH_par.json`) on hosts with fewer than 2 cores — producer and
+//! writer are separate threads, so a 1-core container measures
+//! time-slicing, not pipeline behaviour.
 
 use kcore_decomp::core_decomposition;
 use kcore_gen::{barabasi_albert, churn_stream, timestamp_edges, SlidingWindow};
@@ -46,6 +63,9 @@ struct Args {
     out: String,
     /// `0.0` disables the gate (events/sec on the churn section).
     min_ingest_throughput: f64,
+    /// `0.0` disables the gate (publish p50 growth ratio, largest |V|
+    /// over smallest, in the scaling section).
+    max_publish_cost_ratio: f64,
 }
 
 impl Args {
@@ -61,6 +81,7 @@ impl Args {
             seed: 42,
             out: "BENCH_ingest.json".to_string(),
             min_ingest_throughput: 0.0,
+            max_publish_cost_ratio: 0.0,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -86,11 +107,15 @@ impl Args {
                 "--min-ingest-throughput" => {
                     a.min_ingest_throughput = need(i).parse().expect("bad --min-ingest-throughput")
                 }
+                "--max-publish-cost-ratio" => {
+                    a.max_publish_cost_ratio =
+                        need(i).parse().expect("bad --max-publish-cost-ratio")
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --n N  --attach M  --batches B  --inserts-per-batch I  \
                          --removes-per-batch R  --max-batch S  --queue Q  --seed S  \
-                         --out FILE  --min-ingest-throughput EPS"
+                         --out FILE  --min-ingest-throughput EPS  --max-publish-cost-ratio R"
                     );
                     std::process::exit(0);
                 }
@@ -130,13 +155,23 @@ struct SectionReport {
     latency_max_ns: u64,
     staleness_p50: u64,
     staleness_max: u64,
+    /// Per-flush snapshot-maintenance time (mirror sync + publication).
+    publish_p50_ns: u64,
+    publish_p99_ns: u64,
+    /// Chunks copy-on-written across the run vs the mirror's chunk count
+    /// — the O(changed) witness (copied ≪ chunks × batches).
+    chunks_copied: u64,
+    mirror_chunks: u64,
+    tracked_drains: u64,
+    full_syncs: u64,
 }
 
 impl SectionReport {
     fn print(&self) {
         println!(
-            "{:<8} {:>8} events in {:>7.3}s = {:>10.0} events/sec | {:>4} batches, {:>4} epochs | \
-             batch p50 {:>7}us p99 {:>7}us | staleness p50 {:>5} max {:>5} events",
+            "{:<10} {:>8} events in {:>7.3}s = {:>10.0} events/sec | {:>4} batches, {:>4} epochs | \
+             batch p50 {:>7}us p99 {:>7}us | staleness p50 {:>5} max {:>5} | \
+             publish p50 {:>6}ns, {} of {}x{} chunks copied",
             self.name,
             self.events,
             self.secs,
@@ -147,6 +182,10 @@ impl SectionReport {
             self.latency_p99_ns / 1_000,
             self.staleness_p50,
             self.staleness_max,
+            self.publish_p50_ns,
+            self.chunks_copied,
+            self.batches,
+            self.mirror_chunks,
         );
     }
 
@@ -159,7 +198,10 @@ impl SectionReport {
              {indent}  \"batches\": {},\n\
              {indent}  \"epochs\": {},\n\
              {indent}  \"batch_latency_ns\": {{ \"p50\": {}, \"p99\": {}, \"max\": {} }},\n\
-             {indent}  \"staleness_events\": {{ \"p50\": {}, \"max\": {} }}\n\
+             {indent}  \"staleness_events\": {{ \"p50\": {}, \"max\": {} }},\n\
+             {indent}  \"publish_ns\": {{ \"p50\": {}, \"p99\": {} }},\n\
+             {indent}  \"publish_cow\": {{ \"chunks_copied\": {}, \"mirror_chunks\": {}, \
+             \"tracked_drains\": {}, \"full_syncs\": {} }}\n\
              {indent}}}",
             self.name,
             self.events,
@@ -172,6 +214,12 @@ impl SectionReport {
             self.latency_max_ns,
             self.staleness_p50,
             self.staleness_max,
+            self.publish_p50_ns,
+            self.publish_p99_ns,
+            self.chunks_copied,
+            self.mirror_chunks,
+            self.tracked_drains,
+            self.full_syncs,
         )
     }
 }
@@ -209,6 +257,7 @@ fn run_section(
 
     let mut lat = report.batch_apply_ns.clone();
     let latency_max_ns = lat.iter().copied().max().unwrap_or(0);
+    let mut pub_ns = report.publish_ns.clone();
     SectionReport {
         name,
         events: events.len(),
@@ -221,6 +270,97 @@ fn run_section(
         latency_max_ns,
         staleness_p50: percentile(&mut staleness, 50.0),
         staleness_max: staleness.iter().copied().max().unwrap_or(0),
+        publish_p50_ns: percentile(&mut pub_ns, 50.0),
+        publish_p99_ns: percentile(&mut pub_ns, 99.0),
+        chunks_copied: report.chunks_copied,
+        mirror_chunks: report.mirror_chunks,
+        tracked_drains: report.tracked_drains,
+        full_syncs: report.full_syncs,
+    }
+}
+
+/// One row of the publish-cost scaling experiment: the same per-batch
+/// change volume over a growing vertex universe.
+struct ScalePoint {
+    n: usize,
+    publish_p50_ns: u64,
+    publish_p99_ns: u64,
+    chunks_copied: u64,
+    mirror_chunks: u64,
+    batches: u64,
+    /// The *old* publication model timed on the same final state: an
+    /// O(n) cores copy + full histogram rescan per epoch.
+    full_rebuild_ns: u64,
+}
+
+/// Times the pre-COW publication path (clone all cores + rescan the
+/// histogram) on `cores` — the honest O(n) baseline each scale point's
+/// `publish_p50_ns` is compared against.
+fn time_full_rebuild(cores: &[u32]) -> u64 {
+    const REPS: u32 = 64;
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        let copy = cores.to_vec();
+        let max = copy.iter().copied().max().unwrap_or(0) as usize;
+        let mut hist = vec![0usize; max + 1];
+        for &c in &copy {
+            hist[c as usize] += 1;
+        }
+        std::hint::black_box((copy, hist));
+    }
+    (t0.elapsed().as_nanos() / REPS as u128) as u64
+}
+
+/// Fixed change volume, growing |V|: publish cost must not scale with
+/// the universe. Every point replays the *identical* churn stream over
+/// an `active_n`-vertex region embedded in an `n`-vertex universe — the
+/// changed vertices (and the chunks they dirty) are the same at every
+/// scale, so any growth in publish time is pure universe overhead. The
+/// old path rebuilt all `n` cores plus the histogram per epoch and grew
+/// linearly here no matter how localised the churn was.
+fn run_scale_point(
+    n: usize,
+    active_n: usize,
+    attach: usize,
+    max_batch: usize,
+    seed: u64,
+) -> ScalePoint {
+    let active = barabasi_albert(active_n, attach, seed);
+    let mut base = DynamicGraph::with_vertices(n);
+    for v in 0..active.num_vertices() as u32 {
+        for &u in active.neighbors(v) {
+            if u > v {
+                base.insert_edge_unchecked(v, u);
+            }
+        }
+    }
+    let events: Vec<GraphEvent> = churn_stream(&active, 40, 96, 64, seed ^ 0xABBA)
+        .iter()
+        .flat_map(churn_events)
+        .collect();
+    let cfg = IngestConfig::default()
+        .max_batch(max_batch)
+        .queue_capacity(max_batch * 2);
+    let svc = IngestService::spawn_planned(base.clone(), seed, cfg).expect("spawn service");
+    for &e in &events {
+        svc.submit(e).expect("writer alive");
+    }
+    svc.flush().expect("final barrier");
+    let (report, engine) = svc.shutdown();
+    assert_eq!(
+        engine.cores(),
+        &oracle_cores(&base, &events)[..],
+        "scale point n={n}: final state diverged from the recompute oracle"
+    );
+    let mut pub_ns = report.publish_ns.clone();
+    ScalePoint {
+        n,
+        publish_p50_ns: percentile(&mut pub_ns, 50.0),
+        publish_p99_ns: percentile(&mut pub_ns, 99.0),
+        chunks_copied: report.chunks_copied,
+        mirror_chunks: report.mirror_chunks,
+        batches: report.batches,
+        full_rebuild_ns: time_full_rebuild(engine.cores()),
     }
 }
 
@@ -269,6 +409,26 @@ fn main() {
         args.inserts_per_batch + args.removes_per_batch,
     );
     churn_report.print();
+
+    // ---- churn_lean: the staleness-budget workload ----
+    // Under blocking submit the bounded queue saturates, so staleness ≈
+    // queue capacity: the queue IS the staleness budget. The COW publish
+    // path keeps per-flush snapshot maintenance at O(changed), so a 4×
+    // smaller queue (and batch) holds throughput while cutting the
+    // published-state lag proportionally — the before/after staleness
+    // evidence for this layer.
+    let lean_cfg = IngestConfig::default()
+        .max_batch(args.max_batch / 4)
+        .queue_capacity(args.queue / 4);
+    let churn_lean_report = run_section(
+        "churn_lean",
+        &base,
+        &churn,
+        lean_cfg,
+        args.seed,
+        args.inserts_per_batch + args.removes_per_batch,
+    );
+    churn_lean_report.print();
 
     // ---- window: admit/expire over a timestamped stream ----
     let ts = timestamp_edges(&base, 3, args.seed ^ 0xD00D);
@@ -319,6 +479,39 @@ fn main() {
     );
     std::fs::remove_dir_all(&dir).ok();
 
+    // ---- publish-cost scaling: fixed change volume, growing |V| ----
+    let scale_ns: Vec<usize> = [args.n / 4, args.n, args.n * 4]
+        .into_iter()
+        .filter(|&n| n >= 64)
+        .collect();
+    let active_n = *scale_ns.first().unwrap_or(&64);
+    let mut scaling: Vec<ScalePoint> = Vec::new();
+    for &n in &scale_ns {
+        let p = run_scale_point(n, active_n, args.attach, args.max_batch, args.seed);
+        println!(
+            "publish scaling: n = {:>7} | publish p50 {:>7}ns p99 {:>8}ns | \
+             {:>4}/{} chunks copied over {} batches | full rebuild (old path) {:>8}ns",
+            p.n,
+            p.publish_p50_ns,
+            p.publish_p99_ns,
+            p.chunks_copied,
+            p.mirror_chunks,
+            p.batches,
+            p.full_rebuild_ns,
+        );
+        scaling.push(p);
+    }
+    let publish_ratio = match (scaling.first(), scaling.last()) {
+        (Some(a), Some(b)) if a.publish_p50_ns > 0 => {
+            b.publish_p50_ns as f64 / a.publish_p50_ns as f64
+        }
+        _ => 1.0,
+    };
+    println!(
+        "publish p50 growth over {}x |V|: {publish_ratio:.2}x (old full-rebuild path grows ~linearly)",
+        scale_ns.last().unwrap_or(&1) / scale_ns.first().unwrap_or(&1).max(&1)
+    );
+
     // ---- gate bookkeeping (BENCH_par.json convention) ----
     const GATE_CORES: usize = 2;
     let gate_status = if args.min_ingest_throughput <= 0.0 {
@@ -326,6 +519,16 @@ fn main() {
     } else if host < GATE_CORES {
         format!(
             "waived (host_parallelism {host} < {GATE_CORES} required: producer + writer threads)"
+        )
+    } else {
+        "enforced".to_string()
+    };
+    let publish_gate_status = if args.max_publish_cost_ratio <= 0.0 {
+        "disabled".to_string()
+    } else if host < GATE_CORES {
+        format!(
+            "waived (host_parallelism {host} < {GATE_CORES}: single shared core makes \
+             nanosecond-scale publish timings scheduling noise)"
         )
     } else {
         "enforced".to_string()
@@ -345,7 +548,12 @@ fn main() {
         args.max_batch,
         args.queue
     ));
-    for r in [&churn_report, &window_report, &durable_report] {
+    for r in [
+        &churn_report,
+        &churn_lean_report,
+        &window_report,
+        &durable_report,
+    ] {
         json.push_str(&r.json("  "));
         json.push_str(",\n");
     }
@@ -354,20 +562,68 @@ fn main() {
          \"journal_bytes\": {journal_bytes} }},\n",
         rec.next_seq, rec.replayed
     ));
+    json.push_str("  \"publish_scaling\": [\n");
+    for (i, p) in scaling.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"n\": {}, \"publish_ns\": {{ \"p50\": {}, \"p99\": {} }}, \
+             \"chunks_copied\": {}, \"mirror_chunks\": {}, \"batches\": {}, \
+             \"full_rebuild_ns\": {} }}{}\n",
+            p.n,
+            p.publish_p50_ns,
+            p.publish_p99_ns,
+            p.chunks_copied,
+            p.mirror_chunks,
+            p.batches,
+            p.full_rebuild_ns,
+            if i + 1 < scaling.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"target_events_per_sec\": {:.0},\n  \"gate\": \"{gate_status}\"\n}}\n",
+        "  \"publish_p50_growth_ratio\": {publish_ratio:.3},\n"
+    ));
+    // The pre-COW reference this PR is measured against (committed
+    // BENCH_ingest.json before the chunked snapshot layer landed):
+    // publication rebuilt all n cores + the histogram every epoch, and
+    // the staleness budget had to absorb a 4096-deep queue.
+    json.push_str(
+        "  \"reference_before\": { \"publication\": \"full O(n) rebuild per epoch\", \
+         \"staleness_events_p50\": { \"churn\": 4262, \"window\": 4608, \"durable\": 4256 } },\n",
+    );
+    json.push_str(&format!(
+        "  \"target_events_per_sec\": {:.0},\n  \"gate\": \"{gate_status}\",\n",
         args.min_ingest_throughput
+    ));
+    json.push_str(&format!(
+        "  \"max_publish_cost_ratio\": {:.2},\n  \"publish_gate\": \"{publish_gate_status}\"\n}}\n",
+        args.max_publish_cost_ratio
     ));
     let mut f = std::fs::File::create(&args.out).expect("create BENCH_ingest.json");
     f.write_all(json.as_bytes())
         .expect("write BENCH_ingest.json");
-    println!("wrote {} (gate: {gate_status})", args.out);
+    println!(
+        "wrote {} (gate: {gate_status}, publish_gate: {publish_gate_status})",
+        args.out
+    );
 
+    let mut failed = false;
     if gate_status == "enforced" && churn_report.events_per_sec < args.min_ingest_throughput {
         eprintln!(
             "GATE FAILED: churn ingest {:.0} events/sec < required {:.0}",
             churn_report.events_per_sec, args.min_ingest_throughput
         );
+        failed = true;
+    }
+    if publish_gate_status == "enforced" && publish_ratio > args.max_publish_cost_ratio {
+        eprintln!(
+            "GATE FAILED: publish p50 grew {publish_ratio:.2}x over a {}x |V| range \
+             (allowed {:.2}x): publication is not O(changed)",
+            scale_ns.last().unwrap_or(&1) / scale_ns.first().unwrap_or(&1).max(&1),
+            args.max_publish_cost_ratio
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

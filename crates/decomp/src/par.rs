@@ -32,9 +32,14 @@
 //! offline; no rayon): callers hand a [`Parallelism`] config and small
 //! inputs never leave the calling thread (`sequential_cutoff`).
 
-use kcore_graph::{AtomicDegrees, CsrGraph, DynamicGraph, VertexId};
+use kcore_graph::{AtomicDegrees, CsrGraph, DynamicGraph, MappedCsr, VertexId};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering};
+
+/// How many frontier slots ahead of the scan cursor the peel rounds
+/// prefetch neighbour rows. Far enough to cover the decrement loop's
+/// latency, near enough not to evict its own lines.
+const PREFETCH_AHEAD: usize = 8;
 
 /// Thread-count and granularity knobs for the parallel decompositions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,16 +94,21 @@ impl Parallelism {
     }
 }
 
-/// Read-only neighbourhood access shared by the parallel peels — both
-/// graph representations expose contiguous neighbour slices, which is all
-/// the peel needs.
+/// Read-only neighbourhood access shared by the parallel peels. The
+/// neighbour scan is closure-based (not slice-based) so row storage can
+/// be anything linear — an adjacency arena, plain CSR rows, LEB128
+/// delta-coded rows, or raw little-endian file bytes ([`MappedCsr`]).
 pub trait PeelGraph: Sync {
     /// Number of vertices.
     fn num_vertices(&self) -> usize;
     /// Degree of `v`.
     fn degree(&self, v: VertexId) -> usize;
-    /// Neighbours of `v`.
-    fn neighbors(&self, v: VertexId) -> &[VertexId];
+    /// Calls `f` for every neighbour of `v`.
+    fn for_each_neighbor<F: FnMut(VertexId)>(&self, v: VertexId, f: F);
+    /// Hints the hardware prefetcher at `v`'s row storage. Default no-op;
+    /// the frontier loops call it [`PREFETCH_AHEAD`] slots early.
+    #[inline]
+    fn prefetch(&self, _v: VertexId) {}
     /// Degree snapshot (the atomic counters' initial values).
     fn degree_vec(&self) -> Vec<u32>;
 }
@@ -110,8 +120,10 @@ impl PeelGraph for DynamicGraph {
     fn degree(&self, v: VertexId) -> usize {
         DynamicGraph::degree(self, v)
     }
-    fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        DynamicGraph::neighbors(self, v)
+    fn for_each_neighbor<F: FnMut(VertexId)>(&self, v: VertexId, mut f: F) {
+        for &w in DynamicGraph::neighbors(self, v) {
+            f(w);
+        }
     }
     fn degree_vec(&self) -> Vec<u32> {
         DynamicGraph::degree_vec(self)
@@ -125,11 +137,34 @@ impl PeelGraph for CsrGraph {
     fn degree(&self, v: VertexId) -> usize {
         CsrGraph::degree(self, v)
     }
-    fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        CsrGraph::neighbors(self, v)
+    fn for_each_neighbor<F: FnMut(VertexId)>(&self, v: VertexId, f: F) {
+        CsrGraph::for_each_neighbor(self, v, f)
+    }
+    #[inline]
+    fn prefetch(&self, v: VertexId) {
+        self.prefetch_row(v)
     }
     fn degree_vec(&self) -> Vec<u32> {
         CsrGraph::degree_vec(self)
+    }
+}
+
+impl<B: AsRef<[u8]> + Sync> PeelGraph for MappedCsr<B> {
+    fn num_vertices(&self) -> usize {
+        MappedCsr::num_vertices(self)
+    }
+    fn degree(&self, v: VertexId) -> usize {
+        MappedCsr::degree(self, v)
+    }
+    fn for_each_neighbor<F: FnMut(VertexId)>(&self, v: VertexId, f: F) {
+        MappedCsr::for_each_neighbor(self, v, f)
+    }
+    #[inline]
+    fn prefetch(&self, v: VertexId) {
+        self.prefetch_row(v)
+    }
+    fn degree_vec(&self) -> Vec<u32> {
+        MappedCsr::degree_vec(self)
     }
 }
 
@@ -233,9 +268,15 @@ fn par_peel<G: PeelGraph>(g: &G, par: &Parallelism) -> Vec<u32> {
             let harvests = run_chunks(threads, &frontier, cutoff, |_, chunk| {
                 let mut next = Vec::new();
                 let mut local_min = u32::MAX;
-                for &v in chunk {
+                for (i, &v) in chunk.iter().enumerate() {
+                    // Linear-prefetch: frontier order is arbitrary, so the
+                    // row of the vertex a few slots ahead is a cache miss
+                    // the hardware can't predict — hint it now.
+                    if let Some(&ahead) = chunk.get(i + PREFETCH_AHEAD) {
+                        g.prefetch(ahead);
+                    }
                     core[v as usize].store(k, Ordering::Relaxed);
-                    for &u in g.neighbors(v) {
+                    g.for_each_neighbor(v, |u| {
                         match deg.decrement_above(u, k) {
                             // This worker performed the k+1 -> k
                             // transition: it alone enrols u.
@@ -243,7 +284,7 @@ fn par_peel<G: PeelGraph>(g: &G, par: &Parallelism) -> Vec<u32> {
                             Some(nd) if nd < local_min => local_min = nd,
                             _ => {}
                         }
-                    }
+                    });
                 }
                 RoundHarvest {
                     next,
@@ -293,6 +334,13 @@ pub fn par_core_decomposition_csr(g: &CsrGraph, par: &Parallelism) -> Vec<u32> {
     par_peel(g, par)
 }
 
+/// The parallel peel over any [`PeelGraph`] — the entry point for
+/// delta-compressed CSR layouts and file-backed [`MappedCsr`] views,
+/// which have no named wrapper of their own.
+pub fn par_core_decomposition_peel<G: PeelGraph>(g: &G, par: &Parallelism) -> Vec<u32> {
+    par_peel(g, par)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,6 +350,7 @@ mod tests {
     fn check_all_thread_counts(g: &DynamicGraph) {
         let reference = core_decomposition(g);
         let csr = CsrGraph::from(g);
+        let delta = csr.to_layout(kcore_graph::CsrLayout::Delta);
         for t in [1usize, 2, 3, 4] {
             let par = Parallelism::exact(t).with_cutoff(0);
             assert_eq!(
@@ -313,6 +362,11 @@ mod tests {
                 par_core_decomposition_csr(&csr, &par),
                 reference,
                 "csr peel diverged at {t} threads"
+            );
+            assert_eq!(
+                par_core_decomposition_peel(&delta, &par),
+                reference,
+                "delta-layout peel diverged at {t} threads"
             );
         }
     }
@@ -367,6 +421,27 @@ mod tests {
         let p = Parallelism::auto();
         assert!(p.resolved_threads() >= 1);
         assert_eq!(Parallelism::exact(3).resolved_threads(), 3);
+    }
+
+    #[test]
+    fn mapped_csr_peels_identically() {
+        let g = fixtures::PaperGraph::small().graph;
+        let reference = core_decomposition(&g);
+        let csr = CsrGraph::from(&g);
+        let dir = std::env::temp_dir().join("kcore_par_mapped_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("paper_small.kcsr");
+        kcore_graph::save_csr(&csr, &path).unwrap();
+        let mapped = kcore_graph::load_csr_mapped(&path).unwrap();
+        std::fs::remove_file(path).ok();
+        for t in [1usize, 2, 4] {
+            let par = Parallelism::exact(t).with_cutoff(0);
+            assert_eq!(
+                par_core_decomposition_peel(&mapped, &par),
+                reference,
+                "mapped peel diverged at {t} threads"
+            );
+        }
     }
 
     #[test]

@@ -7,25 +7,156 @@
 //! pointer chasing and roughly halves the memory. `kcore-decomp`
 //! exposes a CSR-specialised decomposition; the `index_build` Criterion
 //! bench quantifies the difference.
+//!
+//! Two row encodings are available behind [`CsrLayout`]:
+//!
+//! * [`CsrLayout::Plain`] — rows are contiguous `u32` slices, sorted
+//!   ascending. Supports `O(log deg)` membership probes and borrowed
+//!   [`CsrGraph::neighbors`] slices. 4 bytes per directed arc.
+//! * [`CsrLayout::Delta`] — rows are LEB128 varints: the first
+//!   neighbour absolute, every subsequent one as the gap to its
+//!   predecessor (rows are sorted and duplicate-free, so gaps are
+//!   ≥ 1 and most gaps on real graphs fit one byte). Rows are decoded
+//!   on the fly by [`CsrGraph::for_each_neighbor`] /
+//!   [`CsrGraph::neighbors_iter`]; no borrowed slices exist.
+//!
+//! Degrees are cached at freeze time (one `u32` per vertex) so
+//! [`CsrGraph::degrees`] is a borrow, not an allocation, in both
+//! layouts — the offsets of a Delta graph are *byte* offsets and no
+//! longer encode degrees. [`CsrGraph::memory_bytes`] /
+//! [`CsrGraph::bytes_per_edge`] report the footprint either way.
 
 use crate::graph::{DynamicGraph, VertexId};
 
-/// Immutable CSR graph. Build from a [`DynamicGraph`] via `From`.
+/// Row encoding of a [`CsrGraph`]. See the module docs for the
+/// trade-offs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsrLayout {
+    /// Rows are sorted `u32` slices; offsets index into them.
+    Plain,
+    /// Rows are LEB128 delta-coded byte runs; offsets are byte offsets.
+    Delta,
+}
+
+#[derive(Debug, Clone)]
+enum Rows {
+    Plain(Vec<VertexId>),
+    Delta(Vec<u8>),
+}
+
+/// Immutable CSR graph. Build from a [`DynamicGraph`] via `From` (plain
+/// layout) or [`CsrGraph::with_layout`].
 #[derive(Debug, Clone)]
 pub struct CsrGraph {
+    /// Per-vertex degrees, cached at freeze time. In the Plain layout
+    /// they are redundant with the offsets; in the Delta layout the
+    /// offsets are byte offsets and this is the only degree record.
+    degrees: Vec<u32>,
+    /// `offsets[v]..offsets[v+1]` delimits row `v` — in *elements* for
+    /// Plain, in *bytes* for Delta.
     offsets: Vec<u32>,
-    targets: Vec<VertexId>,
+    rows: Rows,
+    /// Number of directed arcs (2·undirected edges); not derivable from
+    /// `rows` in the Delta layout.
+    num_arcs: usize,
     /// Maximum degree, computed once at freeze time — consumers that
     /// bucket by degree (every peeling decomposition) would otherwise
-    /// rescan all `n` offsets on each call.
+    /// rescan all `n` degrees on each call.
     max_degree: u32,
 }
 
 impl CsrGraph {
+    /// Freezes `g` into the requested row layout.
+    pub fn with_layout(g: &DynamicGraph, layout: CsrLayout) -> Self {
+        let plain = Self::from(g);
+        match layout {
+            CsrLayout::Plain => plain,
+            CsrLayout::Delta => plain.to_layout(CsrLayout::Delta),
+        }
+    }
+
+    /// Re-encodes into `layout` (clone-equivalent when the layout
+    /// already matches).
+    pub fn to_layout(&self, layout: CsrLayout) -> Self {
+        match (layout, &self.rows) {
+            (CsrLayout::Plain, Rows::Plain(_)) | (CsrLayout::Delta, Rows::Delta(_)) => self.clone(),
+            (CsrLayout::Delta, Rows::Plain(targets)) => {
+                let n = self.num_vertices();
+                let mut bytes = Vec::with_capacity(self.num_arcs);
+                let mut offsets = Vec::with_capacity(n + 1);
+                offsets.push(0u32);
+                for v in 0..n {
+                    let row = &targets[self.offsets[v] as usize..self.offsets[v + 1] as usize];
+                    let mut prev = 0u32;
+                    for (i, &w) in row.iter().enumerate() {
+                        let val = if i == 0 { w } else { w - prev };
+                        write_varint(&mut bytes, val);
+                        prev = w;
+                    }
+                    offsets.push(u32::try_from(bytes.len()).expect("delta rows fit u32"));
+                }
+                CsrGraph {
+                    degrees: self.degrees.clone(),
+                    offsets,
+                    rows: Rows::Delta(bytes),
+                    num_arcs: self.num_arcs,
+                    max_degree: self.max_degree,
+                }
+            }
+            (CsrLayout::Plain, Rows::Delta(_)) => {
+                let n = self.num_vertices();
+                let mut offsets = Vec::with_capacity(n + 1);
+                offsets.push(0u32);
+                let mut total = 0u32;
+                for &d in &self.degrees {
+                    total += d;
+                    offsets.push(total);
+                }
+                let mut targets = Vec::with_capacity(self.num_arcs);
+                for v in 0..n as VertexId {
+                    self.for_each_neighbor(v, |w| targets.push(w));
+                }
+                CsrGraph {
+                    degrees: self.degrees.clone(),
+                    offsets,
+                    rows: Rows::Plain(targets),
+                    num_arcs: self.num_arcs,
+                    max_degree: self.max_degree,
+                }
+            }
+        }
+    }
+
+    /// Assembles a plain-layout CSR from raw parts. `offsets` must be
+    /// monotone with `offsets[0] == 0` and `offsets[n] == targets.len()`,
+    /// and each row sorted ascending — callers (the binary loader)
+    /// validate before handing the buffers over.
+    pub(crate) fn from_plain_parts(offsets: Vec<u32>, targets: Vec<VertexId>) -> Self {
+        let degrees: Vec<u32> = offsets.windows(2).map(|w| w[1] - w[0]).collect();
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let num_arcs = targets.len();
+        CsrGraph {
+            degrees,
+            offsets,
+            rows: Rows::Plain(targets),
+            num_arcs,
+            max_degree,
+        }
+    }
+
+    /// The active row layout.
+    #[inline]
+    pub fn layout(&self) -> CsrLayout {
+        match self.rows {
+            Rows::Plain(_) => CsrLayout::Plain,
+            Rows::Delta(_) => CsrLayout::Delta,
+        }
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn num_vertices(&self) -> usize {
-        self.offsets.len() - 1
+        self.degrees.len()
     }
 
     /// Maximum degree over all vertices (0 for an empty graph). Cached at
@@ -35,63 +166,268 @@ impl CsrGraph {
         self.max_degree as usize
     }
 
-    /// Degrees of all vertices as a fresh `Vec` (the seed snapshot for
-    /// peeling decompositions and atomic degree views).
+    /// Per-vertex degrees, borrowed from the freeze-time cache — no
+    /// allocation.
+    #[inline]
+    pub fn degrees(&self) -> &[u32] {
+        &self.degrees
+    }
+
+    /// Degrees of all vertices as an owned `Vec` (the mutable seed
+    /// snapshot for peeling decompositions and atomic degree views).
+    /// Prefer [`CsrGraph::degrees`] when a borrow suffices.
     pub fn degree_vec(&self) -> Vec<u32> {
-        self.offsets.windows(2).map(|w| w[1] - w[0]).collect()
+        self.degrees.clone()
     }
 
     /// Number of undirected edges.
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.targets.len() / 2
+        self.num_arcs / 2
     }
 
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: VertexId) -> usize {
-        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+        self.degrees[v as usize] as usize
     }
 
-    /// Neighbours of `v` (sorted ascending).
+    /// Neighbours of `v` (sorted ascending) as a borrowed slice.
+    ///
+    /// Only the Plain layout stores rows as slices; call sites that must
+    /// work in both layouts use [`CsrGraph::for_each_neighbor`] or
+    /// [`CsrGraph::neighbors_iter`].
+    ///
+    /// # Panics
+    /// Panics in the Delta layout.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
-        &self.targets[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+        match &self.rows {
+            Rows::Plain(targets) => {
+                &targets[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+            }
+            Rows::Delta(_) => panic!(
+                "CsrGraph::neighbors needs the Plain layout; \
+                 use for_each_neighbor/neighbors_iter on a Delta graph"
+            ),
+        }
     }
 
-    /// Binary-search membership probe (`O(log deg)` — neighbour lists
-    /// are sorted).
+    /// Calls `f` for every neighbour of `v`, in ascending order. Works
+    /// in both layouts; this is the hot-loop accessor.
+    #[inline]
+    pub fn for_each_neighbor<F: FnMut(VertexId)>(&self, v: VertexId, mut f: F) {
+        let (s, e) = (
+            self.offsets[v as usize] as usize,
+            self.offsets[v as usize + 1] as usize,
+        );
+        match &self.rows {
+            Rows::Plain(targets) => {
+                for &w in &targets[s..e] {
+                    f(w);
+                }
+            }
+            Rows::Delta(bytes) => {
+                let mut pos = s;
+                let mut acc = 0u32;
+                let mut first = true;
+                while pos < e {
+                    let (val, next) = read_varint(bytes, pos);
+                    acc = if first { val } else { acc + val };
+                    first = false;
+                    f(acc);
+                    pos = next;
+                }
+            }
+        }
+    }
+
+    /// Iterator over the neighbours of `v`, ascending. Works in both
+    /// layouts (decodes on the fly for Delta).
+    pub fn neighbors_iter(&self, v: VertexId) -> CsrRowIter<'_> {
+        let (s, e) = (
+            self.offsets[v as usize] as usize,
+            self.offsets[v as usize + 1] as usize,
+        );
+        match &self.rows {
+            Rows::Plain(targets) => CsrRowIter::Plain(targets[s..e].iter()),
+            Rows::Delta(bytes) => CsrRowIter::Delta {
+                bytes,
+                pos: s,
+                end: e,
+                acc: 0,
+                first: true,
+            },
+        }
+    }
+
+    /// Hints the prefetcher at row `v`'s storage (no-op off x86_64).
+    /// The parallel peel loops call this a few vertices ahead of the
+    /// scan cursor so row bytes are in cache by the time they decode.
+    #[inline]
+    pub fn prefetch_row(&self, v: VertexId) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let s = self.offsets[v as usize] as usize;
+            unsafe {
+                match &self.rows {
+                    Rows::Plain(targets) => {
+                        if s < targets.len() {
+                            core::arch::x86_64::_mm_prefetch(
+                                targets.as_ptr().add(s) as *const i8,
+                                core::arch::x86_64::_MM_HINT_T0,
+                            );
+                        }
+                    }
+                    Rows::Delta(bytes) => {
+                        if s < bytes.len() {
+                            core::arch::x86_64::_mm_prefetch(
+                                bytes.as_ptr().add(s) as *const i8,
+                                core::arch::x86_64::_MM_HINT_T0,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = v;
+        }
+    }
+
+    /// Binary-search membership probe in the Plain layout (`O(log deg)`
+    /// — rows are sorted); linear decode in the Delta layout.
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         let (probe, target) = if self.degree(u) <= self.degree(v) {
             (u, v)
         } else {
             (v, u)
         };
-        self.neighbors(probe).binary_search(&target).is_ok()
+        match &self.rows {
+            Rows::Plain(_) => self.neighbors(probe).binary_search(&target).is_ok(),
+            Rows::Delta(_) => self.neighbors_iter(probe).any(|w| w == target),
+        }
+    }
+
+    /// Heap bytes of the frozen structure (degrees + offsets + rows).
+    pub fn memory_bytes(&self) -> usize {
+        let rows = match &self.rows {
+            Rows::Plain(t) => std::mem::size_of_val(t.as_slice()),
+            Rows::Delta(b) => b.len(),
+        };
+        std::mem::size_of_val(self.degrees.as_slice())
+            + std::mem::size_of_val(self.offsets.as_slice())
+            + rows
+    }
+
+    /// Heap bytes per undirected edge — the headline compactness
+    /// number (`f64::INFINITY` for an edgeless graph).
+    pub fn bytes_per_edge(&self) -> f64 {
+        self.memory_bytes() as f64 / self.num_edges().max(1) as f64
     }
 
     /// Thaws back into a mutable graph.
     pub fn to_dynamic(&self) -> DynamicGraph {
         let mut g = DynamicGraph::with_vertices(self.num_vertices());
         for v in 0..self.num_vertices() as VertexId {
-            for &w in self.neighbors(v) {
+            self.for_each_neighbor(v, |w| {
                 if v < w {
                     g.insert_edge_unchecked(v, w);
                 }
-            }
+            });
         }
         g
+    }
+}
+
+/// Iterator over one CSR row (see [`CsrGraph::neighbors_iter`]).
+pub enum CsrRowIter<'a> {
+    /// Plain layout: a slice iterator.
+    Plain(std::slice::Iter<'a, VertexId>),
+    /// Delta layout: on-the-fly varint decode.
+    Delta {
+        /// Encoded row bytes (whole buffer; `pos..end` is this row).
+        bytes: &'a [u8],
+        /// Cursor into `bytes`.
+        pos: usize,
+        /// End of this row in `bytes`.
+        end: usize,
+        /// Running prefix sum (last decoded neighbour).
+        acc: u32,
+        /// Whether the next varint is the absolute first neighbour.
+        first: bool,
+    },
+}
+
+impl Iterator for CsrRowIter<'_> {
+    type Item = VertexId;
+
+    #[inline]
+    fn next(&mut self) -> Option<VertexId> {
+        match self {
+            CsrRowIter::Plain(it) => it.next().copied(),
+            CsrRowIter::Delta {
+                bytes,
+                pos,
+                end,
+                acc,
+                first,
+            } => {
+                if *pos >= *end {
+                    return None;
+                }
+                let (val, next) = read_varint(bytes, *pos);
+                *pos = next;
+                *acc = if *first { val } else { *acc + val };
+                *first = false;
+                Some(*acc)
+            }
+        }
+    }
+}
+
+/// LEB128 encode (unsigned, 32-bit).
+#[inline]
+fn write_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// LEB128 decode starting at `pos`; returns `(value, next_pos)`.
+#[inline]
+fn read_varint(bytes: &[u8], mut pos: usize) -> (u32, usize) {
+    let mut v = 0u32;
+    let mut shift = 0;
+    loop {
+        let b = bytes[pos];
+        pos += 1;
+        v |= u32::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return (v, pos);
+        }
+        shift += 7;
     }
 }
 
 impl From<&DynamicGraph> for CsrGraph {
     fn from(g: &DynamicGraph) -> Self {
         let n = g.num_vertices();
+        let mut degrees = Vec::with_capacity(n);
         let mut offsets = Vec::with_capacity(n + 1);
         offsets.push(0u32);
         let mut total = 0u32;
         for v in 0..n as VertexId {
-            total += g.degree(v) as u32;
+            let d = g.degree(v) as u32;
+            degrees.push(d);
+            total += d;
             offsets.push(total);
         }
         let mut targets = vec![0 as VertexId; total as usize];
@@ -107,10 +443,12 @@ impl From<&DynamicGraph> for CsrGraph {
             let (s, e) = (offsets[v] as usize, offsets[v + 1] as usize);
             targets[s..e].sort_unstable();
         }
-        let max_degree = offsets.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
         CsrGraph {
+            degrees,
             offsets,
-            targets,
+            rows: Rows::Plain(targets),
+            num_arcs: total as usize,
             max_degree,
         }
     }
@@ -125,6 +463,7 @@ mod tests {
     fn csr_mirrors_dynamic() {
         let g = fixtures::PaperGraph::small().graph;
         let csr = CsrGraph::from(&g);
+        assert_eq!(csr.layout(), CsrLayout::Plain);
         assert_eq!(csr.num_vertices(), g.num_vertices());
         assert_eq!(csr.num_edges(), g.num_edges());
         for v in g.vertices() {
@@ -132,6 +471,7 @@ mod tests {
             let mut expected = g.neighbors(v).to_vec();
             expected.sort_unstable();
             assert_eq!(csr.neighbors(v), &expected[..]);
+            assert_eq!(csr.neighbors_iter(v).collect::<Vec<_>>(), expected);
         }
         for (u, v) in g.edges() {
             assert!(csr.has_edge(u, v) && csr.has_edge(v, u));
@@ -167,7 +507,7 @@ mod tests {
         let g = fixtures::PaperGraph::small().graph;
         let csr = CsrGraph::from(&g);
         assert_eq!(csr.max_degree(), g.max_degree());
-        let degs = csr.degree_vec();
+        let degs = csr.degrees();
         assert_eq!(degs.len(), g.num_vertices());
         for v in g.vertices() {
             assert_eq!(degs[v as usize] as usize, g.degree(v));
@@ -176,5 +516,77 @@ mod tests {
             degs.iter().copied().max().unwrap() as usize,
             csr.max_degree()
         );
+        assert_eq!(csr.degree_vec(), degs);
+    }
+
+    #[test]
+    fn delta_layout_mirrors_plain() {
+        let g = fixtures::PaperGraph::small().graph;
+        let plain = CsrGraph::from(&g);
+        let delta = plain.to_layout(CsrLayout::Delta);
+        assert_eq!(delta.layout(), CsrLayout::Delta);
+        assert_eq!(delta.num_vertices(), plain.num_vertices());
+        assert_eq!(delta.num_edges(), plain.num_edges());
+        assert_eq!(delta.max_degree(), plain.max_degree());
+        assert_eq!(delta.degrees(), plain.degrees());
+        for v in g.vertices() {
+            assert_eq!(
+                delta.neighbors_iter(v).collect::<Vec<_>>(),
+                plain.neighbors(v)
+            );
+            let mut via_closure = Vec::new();
+            delta.for_each_neighbor(v, |w| via_closure.push(w));
+            assert_eq!(via_closure, plain.neighbors(v));
+        }
+        for (u, v) in g.edges() {
+            assert!(delta.has_edge(u, v) && delta.has_edge(v, u));
+        }
+        assert!(!delta.has_edge(0, 5));
+        // round-trip back to plain
+        let back = delta.to_layout(CsrLayout::Plain);
+        for v in g.vertices() {
+            assert_eq!(back.neighbors(v), plain.neighbors(v));
+        }
+        // sorted duplicate-free rows make every gap >= 1, so the delta
+        // encoding is never larger than plain on the row bytes
+        assert!(delta.memory_bytes() <= plain.memory_bytes());
+        assert!(delta.bytes_per_edge() <= plain.bytes_per_edge());
+    }
+
+    #[test]
+    fn delta_thaw_roundtrip() {
+        let g = fixtures::petersen();
+        let delta = CsrGraph::with_layout(&g, CsrLayout::Delta);
+        let g2 = delta.to_dynamic();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(g2.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u32, 1, 127, 128, 300, 16_383, 16_384, u32::MAX];
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            let (got, next) = read_varint(&buf, pos);
+            assert_eq!(got, v);
+            pos = next;
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn memory_accounting_is_exact_for_plain() {
+        let g = fixtures::petersen();
+        let csr = CsrGraph::from(&g);
+        let n = csr.num_vertices();
+        let arcs = 2 * csr.num_edges();
+        assert_eq!(csr.memory_bytes(), 4 * n + 4 * (n + 1) + 4 * arcs);
+        assert!(csr.bytes_per_edge() > 8.0);
     }
 }

@@ -14,6 +14,10 @@ use crate::hash::FxHashSet;
 use std::io::{self, BufRead, BufWriter, Write};
 use std::path::Path;
 
+// The binary CSR path lives in [`crate::mapped`]; re-exported here so
+// "graph I/O" stays one import site for callers.
+pub use crate::mapped::{load_csr_mapped, save_csr};
+
 /// A timestamped undirected edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TemporalEdge {

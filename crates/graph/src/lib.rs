@@ -33,12 +33,14 @@ pub mod fixtures;
 pub mod graph;
 pub mod hash;
 pub mod io;
+pub mod mapped;
 pub mod stats;
 
 pub use arena::AdjArena;
 pub use atomic::AtomicDegrees;
-pub use csr::CsrGraph;
+pub use csr::{CsrGraph, CsrLayout};
 pub use graph::{
     edge_key, key_edge, DynamicGraph, EdgeListError, VertexId, DEFAULT_MAX_HOLE_RATIO, NO_VERTEX,
 };
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use mapped::{load_csr_mapped, save_csr, CsrLoadError, MappedCsr};

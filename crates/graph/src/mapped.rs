@@ -1,0 +1,411 @@
+//! Zero-copy binary CSR: the `KCSR` on-disk format and a mapped view.
+//!
+//! [`save_csr`] writes a [`CsrGraph`] as one flat little-endian buffer;
+//! [`load_csr_mapped`] reads it back with a **single** buffer read and
+//! validates it in place — no per-row parsing, no re-allocation, no
+//! intermediate `DynamicGraph`. The result, [`MappedCsr`], serves the
+//! peel-path accessors (`degree`, `for_each_neighbor`, `degree_vec`)
+//! straight out of the raw bytes, so a decomposition can run over a
+//! file-sized graph without ever materialising a second copy.
+//!
+//! `MappedCsr` is generic over any `AsRef<[u8]>` byte source. Today the
+//! only source is a heap buffer from `read_to_end`; the generic seam is
+//! exactly where a real `mmap`-backed buffer would plug in (an
+//! `Mmap` type derefs to `[u8]`), without touching the accessors or the
+//! validator.
+//!
+//! ## Format (version 1)
+//!
+//! | field      | type        | notes                                   |
+//! |------------|-------------|-----------------------------------------|
+//! | magic      | `b"KCSR"`   |                                         |
+//! | version    | `u32` LE    | 1                                       |
+//! | n          | `u64` LE    | vertex count                            |
+//! | arcs       | `u64` LE    | directed arc count (2·edges)            |
+//! | max_degree | `u32` LE    | cached maximum degree                   |
+//! | reserved   | `u32` LE    | 0                                       |
+//! | offsets    | `(n+1)·u32` | element offsets, monotone, `[0] == 0`   |
+//! | targets    | `arcs·u32`  | row-sorted neighbour ids, each `< n`    |
+//!
+//! All integers little-endian; `u32` fields are naturally aligned only
+//! by accident, so the accessors decode with `u32::from_le_bytes` and
+//! never reinterpret the buffer as `&[u32]` — correct on any alignment
+//! and endianness.
+
+use crate::csr::CsrGraph;
+use crate::graph::VertexId;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"KCSR";
+const VERSION: u32 = 1;
+const HEADER_BYTES: usize = 4 + 4 + 8 + 8 + 4 + 4;
+
+/// Validation failure while opening a `KCSR` buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CsrLoadError {
+    /// Buffer too small for the header or the promised arrays.
+    Truncated { expected: usize, actual: usize },
+    /// Magic bytes did not match `KCSR`.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Offsets not monotone, not starting at 0, or final offset ≠ arcs.
+    BadOffsets { vertex: usize },
+    /// A neighbour id out of range.
+    BadTarget { index: usize, value: u32 },
+}
+
+impl std::fmt::Display for CsrLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsrLoadError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "truncated KCSR buffer: need {expected} bytes, have {actual}"
+                )
+            }
+            CsrLoadError::BadMagic => write!(f, "not a KCSR buffer (bad magic)"),
+            CsrLoadError::BadVersion(v) => write!(f, "unsupported KCSR version {v}"),
+            CsrLoadError::BadOffsets { vertex } => {
+                write!(f, "non-monotone or out-of-range offset at vertex {vertex}")
+            }
+            CsrLoadError::BadTarget { index, value } => {
+                write!(f, "target {value} at arc {index} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrLoadError {}
+
+/// A CSR graph served directly from a validated byte buffer.
+///
+/// Generic over the byte source (`Vec<u8>` today; an mmap type derefing
+/// to `[u8]` later). Offsets/targets are decoded per access with
+/// `from_le_bytes` — alignment-agnostic, and on x86 the decode compiles
+/// to a plain load.
+#[derive(Debug)]
+pub struct MappedCsr<B: AsRef<[u8]>> {
+    buf: B,
+    n: usize,
+    arcs: usize,
+    max_degree: u32,
+    offsets_at: usize,
+    targets_at: usize,
+}
+
+#[inline]
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("bounds pre-validated"))
+}
+
+impl<B: AsRef<[u8]>> MappedCsr<B> {
+    /// Validates `buf` as a `KCSR` image and wraps it. The whole buffer
+    /// is checked up front (header sanity, offset monotonicity, target
+    /// ranges) so the accessors can skip per-call checks.
+    pub fn from_bytes(buf: B) -> Result<Self, CsrLoadError> {
+        let b = buf.as_ref();
+        if b.len() < HEADER_BYTES {
+            return Err(CsrLoadError::Truncated {
+                expected: HEADER_BYTES,
+                actual: b.len(),
+            });
+        }
+        if &b[..4] != MAGIC {
+            return Err(CsrLoadError::BadMagic);
+        }
+        let version = read_u32(b, 4);
+        if version != VERSION {
+            return Err(CsrLoadError::BadVersion(version));
+        }
+        let n = u64::from_le_bytes(b[8..16].try_into().unwrap()) as usize;
+        let arcs = u64::from_le_bytes(b[16..24].try_into().unwrap()) as usize;
+        let max_degree = read_u32(b, 24);
+        let offsets_at = HEADER_BYTES;
+        let targets_at = offsets_at + 4 * (n + 1);
+        let expected = targets_at + 4 * arcs;
+        if b.len() < expected {
+            return Err(CsrLoadError::Truncated {
+                expected,
+                actual: b.len(),
+            });
+        }
+        // In-place validation: offsets monotone from 0 to arcs…
+        let mut prev = read_u32(b, offsets_at);
+        if prev != 0 {
+            return Err(CsrLoadError::BadOffsets { vertex: 0 });
+        }
+        for v in 1..=n {
+            let o = read_u32(b, offsets_at + 4 * v);
+            if o < prev || o as usize > arcs {
+                return Err(CsrLoadError::BadOffsets { vertex: v });
+            }
+            prev = o;
+        }
+        if prev as usize != arcs {
+            return Err(CsrLoadError::BadOffsets { vertex: n });
+        }
+        // …and every target in range.
+        for i in 0..arcs {
+            let t = read_u32(b, targets_at + 4 * i);
+            if t as usize >= n {
+                return Err(CsrLoadError::BadTarget { index: i, value: t });
+            }
+        }
+        Ok(MappedCsr {
+            buf,
+            n,
+            arcs,
+            max_degree,
+            offsets_at,
+            targets_at,
+        })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.arcs / 2
+    }
+
+    /// Maximum degree (from the header, written at save time).
+    #[inline]
+    pub fn max_degree(&self) -> usize {
+        self.max_degree as usize
+    }
+
+    #[inline]
+    fn offset(&self, v: usize) -> usize {
+        read_u32(self.buf.as_ref(), self.offsets_at + 4 * v) as usize
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offset(v as usize + 1) - self.offset(v as usize)
+    }
+
+    /// Calls `f` for every neighbour of `v`, in row order (ascending —
+    /// rows are sorted at save time).
+    #[inline]
+    pub fn for_each_neighbor<F: FnMut(VertexId)>(&self, v: VertexId, mut f: F) {
+        let b = self.buf.as_ref();
+        let (s, e) = (self.offset(v as usize), self.offset(v as usize + 1));
+        for i in s..e {
+            f(read_u32(b, self.targets_at + 4 * i));
+        }
+    }
+
+    /// Hints the prefetcher at row `v`'s bytes (no-op off x86_64).
+    #[inline]
+    pub fn prefetch_row(&self, v: VertexId) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let at = self.targets_at + 4 * self.offset(v as usize);
+            let b = self.buf.as_ref();
+            if at < b.len() {
+                unsafe {
+                    core::arch::x86_64::_mm_prefetch(
+                        b.as_ptr().add(at) as *const i8,
+                        core::arch::x86_64::_MM_HINT_T0,
+                    );
+                }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = v;
+        }
+    }
+
+    /// Owned per-vertex degrees (the peel seed).
+    pub fn degree_vec(&self) -> Vec<u32> {
+        let b = self.buf.as_ref();
+        let mut out = Vec::with_capacity(self.n);
+        let mut prev = 0u32;
+        for v in 1..=self.n {
+            let o = read_u32(b, self.offsets_at + 4 * v);
+            out.push(o - prev);
+            prev = o;
+        }
+        out
+    }
+
+    /// Materialises an owned plain-layout [`CsrGraph`] (one pass, one
+    /// allocation per array) for callers that need borrowed row slices.
+    pub fn to_csr(&self) -> CsrGraph {
+        let b = self.buf.as_ref();
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        for v in 0..=self.n {
+            offsets.push(read_u32(b, self.offsets_at + 4 * v));
+        }
+        let mut targets = Vec::with_capacity(self.arcs);
+        for i in 0..self.arcs {
+            targets.push(read_u32(b, self.targets_at + 4 * i));
+        }
+        CsrGraph::from_plain_parts(offsets, targets)
+    }
+}
+
+/// Writes `csr` to `path` in the `KCSR` format (any row layout — rows
+/// are written plain).
+pub fn save_csr<P: AsRef<Path>>(csr: &CsrGraph, path: P) -> io::Result<()> {
+    let n = csr.num_vertices();
+    let arcs = 2 * csr.num_edges();
+    let mut buf = Vec::with_capacity(HEADER_BYTES + 4 * (n + 1) + 4 * arcs);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(n as u64).to_le_bytes());
+    buf.extend_from_slice(&(arcs as u64).to_le_bytes());
+    buf.extend_from_slice(&(csr.max_degree() as u32).to_le_bytes());
+    buf.extend_from_slice(&0u32.to_le_bytes());
+    let mut total = 0u32;
+    buf.extend_from_slice(&total.to_le_bytes());
+    for &d in csr.degrees() {
+        total += d;
+        buf.extend_from_slice(&total.to_le_bytes());
+    }
+    for v in 0..n as VertexId {
+        csr.for_each_neighbor(v, |w| buf.extend_from_slice(&w.to_le_bytes()));
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&buf)
+}
+
+/// Loads a `KCSR` file as a [`MappedCsr`] with one buffer read and
+/// in-place validation — the zero-copy load path.
+pub fn load_csr_mapped<P: AsRef<Path>>(path: P) -> io::Result<MappedCsr<Vec<u8>>> {
+    let mut f = std::fs::File::open(path)?;
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    MappedCsr::from_bytes(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrLayout;
+    use crate::fixtures;
+
+    fn roundtrip(g: &crate::DynamicGraph) -> (CsrGraph, MappedCsr<Vec<u8>>) {
+        let csr = CsrGraph::from(g);
+        let dir = std::env::temp_dir().join("kcore_mapped_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("g_{}_{}.kcsr", g.num_vertices(), g.num_edges()));
+        save_csr(&csr, &path).unwrap();
+        let mapped = load_csr_mapped(&path).unwrap();
+        std::fs::remove_file(path).ok();
+        (csr, mapped)
+    }
+
+    #[test]
+    fn mapped_mirrors_csr() {
+        let g = fixtures::PaperGraph::small().graph;
+        let (csr, mapped) = roundtrip(&g);
+        assert_eq!(mapped.num_vertices(), csr.num_vertices());
+        assert_eq!(mapped.num_edges(), csr.num_edges());
+        assert_eq!(mapped.max_degree(), csr.max_degree());
+        assert_eq!(mapped.degree_vec(), csr.degree_vec());
+        for v in g.vertices() {
+            assert_eq!(mapped.degree(v), csr.degree(v));
+            let mut row = Vec::new();
+            mapped.for_each_neighbor(v, |w| row.push(w));
+            assert_eq!(row, csr.neighbors(v));
+        }
+        let back = mapped.to_csr();
+        for v in g.vertices() {
+            assert_eq!(back.neighbors(v), csr.neighbors(v));
+        }
+        assert_eq!(back.max_degree(), csr.max_degree());
+    }
+
+    #[test]
+    fn delta_source_saves_plain_rows() {
+        let g = fixtures::petersen();
+        let delta = CsrGraph::with_layout(&g, CsrLayout::Delta);
+        let dir = std::env::temp_dir().join("kcore_mapped_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("petersen_delta.kcsr");
+        save_csr(&delta, &path).unwrap();
+        let mapped = load_csr_mapped(&path).unwrap();
+        std::fs::remove_file(path).ok();
+        let plain = CsrGraph::from(&g);
+        for v in g.vertices() {
+            let mut row = Vec::new();
+            mapped.for_each_neighbor(v, |w| row.push(w));
+            assert_eq!(row, plain.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = crate::DynamicGraph::with_vertices(4);
+        let (_, mapped) = roundtrip(&g);
+        assert_eq!(mapped.num_vertices(), 4);
+        assert_eq!(mapped.num_edges(), 0);
+        assert_eq!(mapped.degree(3), 0);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let g = fixtures::petersen();
+        let csr = CsrGraph::from(&g);
+        let dir = std::env::temp_dir().join("kcore_mapped_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.kcsr");
+        save_csr(&csr, &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        std::fs::remove_file(path).ok();
+
+        // bad magic
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(
+            MappedCsr::from_bytes(bad).unwrap_err(),
+            CsrLoadError::BadMagic
+        );
+
+        // bad version
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert_eq!(
+            MappedCsr::from_bytes(bad).unwrap_err(),
+            CsrLoadError::BadVersion(99)
+        );
+
+        // truncated body
+        let bad = good[..good.len() - 3].to_vec();
+        assert!(matches!(
+            MappedCsr::from_bytes(bad).unwrap_err(),
+            CsrLoadError::Truncated { .. }
+        ));
+
+        // non-monotone offsets: swap offset[1] to something huge
+        let mut bad = good.clone();
+        let at = HEADER_BYTES + 4;
+        bad[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            MappedCsr::from_bytes(bad).unwrap_err(),
+            CsrLoadError::BadOffsets { .. }
+        ));
+
+        // out-of-range target
+        let mut bad = good.clone();
+        let targets_at = HEADER_BYTES + 4 * (csr.num_vertices() + 1);
+        bad[targets_at..targets_at + 4].copy_from_slice(&1_000_000u32.to_le_bytes());
+        assert!(matches!(
+            MappedCsr::from_bytes(bad).unwrap_err(),
+            CsrLoadError::BadTarget { .. }
+        ));
+
+        // the pristine buffer still loads
+        assert!(MappedCsr::from_bytes(good).is_ok());
+    }
+}

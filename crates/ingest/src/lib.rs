@@ -13,10 +13,14 @@
 //! * **Micro-batching** — events flush on batch-size or clock tick;
 //!   [`ClockMode::Scripted`] serialises time into the message stream so
 //!   every test is wall-clock-free and deterministic.
-//! * **Snapshot-isolated reads** — each flush publishes an immutable,
-//!   epoch-versioned [`CoreSnapshot`] (cores, histogram, degeneracy,
-//!   k-core membership) behind an `Arc` swap: any number of reader
-//!   threads load consistent state without blocking the writer.
+//! * **Snapshot-isolated reads, published copy-on-write** — each flush
+//!   publishes an immutable, epoch-versioned [`CoreSnapshot`] (cores,
+//!   histogram, degeneracy, k-core membership) through an
+//!   epoch-validated double buffer: any number of reader threads load
+//!   consistent state without blocking the writer. Publication is
+//!   `O(changed)`, not `O(n)` — cores live in a chunked persistent
+//!   array ([`chunked::ChunkedCores`]) and consecutive epochs share
+//!   every chunk the flush did not dirty.
 //! * **Durability** — the writer ships the [`kcore_maint::journal`]
 //!   tail into an append-only journal file and periodically persists the
 //!   full index; [`recover`] restores snapshot + journal tail (replayed
@@ -42,11 +46,13 @@
 //! assert_eq!(engine.cores(), &[1, 1, 1, 0]);
 //! ```
 
+pub mod chunked;
 pub mod durability;
 pub mod service;
 pub mod snapshot;
 pub mod sources;
 
+pub use chunked::{ChunkedCores, CoreMirror, CHUNK};
 pub use durability::{
     read_journal, recover, DurabilityConfig, JournalSink, RecoverError, Recovered,
 };

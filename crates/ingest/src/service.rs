@@ -28,9 +28,10 @@
 //! with event arrival — the scripted clock serialises time itself into
 //! the event stream.)
 
+use crate::chunked::CoreMirror;
 use crate::durability::{DurabilityConfig, JournalSink, Recovered};
 use crate::snapshot::{CoreSnapshot, SnapshotHandle, SnapshotReceiver};
-use kcore_graph::DynamicGraph;
+use kcore_graph::{DynamicGraph, VertexId};
 use kcore_maint::journal::{replay_batched, GraphEvent, Journaled};
 use kcore_maint::{
     CoreMaintainer, PlannedCore, PlannerConfig, RecomputeCore, TreapOrderCore, UpdateStats,
@@ -42,20 +43,24 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// An engine the ingest writer can drive: any [`CoreMaintainer`] that
-/// can cross the thread boundary, with optional fast histogram and
-/// index-persistence hooks.
+/// can cross the thread boundary, with optional core-change-tracking
+/// and index-persistence hooks.
 pub trait IngestEngine: CoreMaintainer + Send + 'static {
-    /// `(histogram, degeneracy)` for snapshot publication. The default
-    /// derives both from [`CoreMaintainer::core_slice`] in `O(n)`;
-    /// engines with incremental level counts override it.
-    fn histogram_and_degeneracy(&self) -> (Vec<usize>, u32) {
-        let cores = self.core_slice();
-        let degeneracy = cores.iter().copied().max().unwrap_or(0);
-        let mut histogram = vec![0usize; degeneracy as usize + 1];
-        for &c in cores {
-            histogram[c as usize] += 1;
-        }
-        (histogram, degeneracy)
+    /// Asks the engine to start recording which vertices change core
+    /// number, to be drained via [`IngestEngine::drain_core_changes`].
+    /// Returns `false` (the default) for engines without tracking —
+    /// the writer then syncs its snapshot mirror by a chunk-granular
+    /// compare instead of a change list.
+    fn enable_core_change_tracking(&mut self) -> bool {
+        false
+    }
+
+    /// Appends the vertices whose core changed since the last drain to
+    /// `out` (duplicates allowed; the caller reads final values) and
+    /// clears the record. `false` means "no tracked set — do a full
+    /// sync" (tracking off, or the log was overwhelmed).
+    fn drain_core_changes(&mut self, _out: &mut Vec<VertexId>) -> bool {
+        false
     }
 
     /// Writes the engine's persistent index form, if it has one. The
@@ -70,10 +75,13 @@ pub trait IngestEngine: CoreMaintainer + Send + 'static {
 }
 
 impl IngestEngine for PlannedCore {
-    fn histogram_and_degeneracy(&self) -> (Vec<usize>, u32) {
-        // O(levels) — served from the incremental level counts, valid
-        // even while a recompute's order rebuild is deferred.
-        (self.core_histogram(), self.degeneracy())
+    fn enable_core_change_tracking(&mut self) -> bool {
+        PlannedCore::enable_core_change_tracking(self);
+        true
+    }
+
+    fn drain_core_changes(&mut self, out: &mut Vec<VertexId>) -> bool {
+        PlannedCore::drain_core_changes(self, out)
     }
 
     fn persist_index(&mut self, out: &mut dyn io::Write) -> io::Result<()> {
@@ -84,8 +92,13 @@ impl IngestEngine for PlannedCore {
 }
 
 impl IngestEngine for TreapOrderCore {
-    fn histogram_and_degeneracy(&self) -> (Vec<usize>, u32) {
-        (self.core_histogram(), self.degeneracy())
+    fn enable_core_change_tracking(&mut self) -> bool {
+        TreapOrderCore::enable_core_change_tracking(self);
+        true
+    }
+
+    fn drain_core_changes(&mut self, out: &mut Vec<VertexId>) -> bool {
+        TreapOrderCore::drain_core_changes(self, out)
     }
 
     fn persist_index(&mut self, out: &mut dyn io::Write) -> io::Result<()> {
@@ -93,8 +106,9 @@ impl IngestEngine for TreapOrderCore {
     }
 }
 
-/// The oracle instantiation (decompose-per-batch); snapshot fields come
-/// from the defaults, durability is unsupported.
+/// The oracle instantiation (decompose-per-batch); no change tracking —
+/// the writer exercises the chunk-compare fallback — and durability is
+/// unsupported.
 impl IngestEngine for RecomputeCore {}
 
 /// Submission failures.
@@ -223,6 +237,23 @@ pub struct IngestReport {
     /// Bounded: a ring of the most recent [`LATENCY_SAMPLE_CAP`] flushes
     /// — a long-lived writer must not grow a metric vector forever.
     pub batch_apply_ns: Vec<u64>,
+    /// Per-flush snapshot-maintenance cost (mirror sync + publication),
+    /// **wall**-clock ns even under a scripted clock — metrics do not
+    /// affect determinism. Same ring policy as `batch_apply_ns`. This is
+    /// the publish-cost gate's sample source: O(changed), not O(n).
+    pub publish_ns: Vec<u64>,
+    /// Chunks copy-on-written into the snapshot mirror, totalled over
+    /// every flush (the "publish cost is proportional to the diff"
+    /// witness; compare against `mirror_chunks` × flushes).
+    pub chunks_copied: u64,
+    /// Chunks backing the mirror at shutdown.
+    pub mirror_chunks: u64,
+    /// Mirror syncs served from the engine's tracked change set
+    /// (`O(changed)`).
+    pub tracked_drains: u64,
+    /// Mirror syncs that fell back to the chunk-compare path (`O(n)`
+    /// compare, still `O(changed)` copy).
+    pub full_syncs: u64,
 }
 
 /// Retained per-flush latency samples (ring of the most recent; sample
@@ -311,6 +342,11 @@ impl<M: IngestEngine> IngestService<M> {
                 write_snapshot_payload(&d.snapshot_path, start_seq, &payload)?;
             }
         }
+        // Core-change tracking feeds the copy-on-write snapshot mirror
+        // in O(changed); engines without it (the recompute oracle) fall
+        // back to a chunk-compare sync per flush.
+        let tracking = engine.enable_core_change_tracking();
+        let mirror = CoreMirror::from_slice(engine.core_slice());
         let journaled = Journaled::with_start_seq(engine, start_seq);
         let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
         let writer = Writer {
@@ -327,6 +363,9 @@ impl<M: IngestEngine> IngestService<M> {
             ship_cursor: start_seq,
             batches_since_persist: 0,
             subscribers: Vec::new(),
+            mirror,
+            tracking,
+            change_buf: Vec::new(),
             report: IngestReport::default(),
         };
         let snapshots = SnapshotHandle::new(writer.compose_snapshot());
@@ -483,6 +522,13 @@ struct Writer<M: IngestEngine> {
     ship_cursor: u64,
     batches_since_persist: usize,
     subscribers: Vec<mpsc::Sender<Arc<CoreSnapshot>>>,
+    /// Copy-on-write mirror of the engine's cores + incremental
+    /// histogram — what snapshots are composed from, in O(changed).
+    mirror: CoreMirror,
+    /// Whether the engine records core changes for us.
+    tracking: bool,
+    /// Reused drain buffer (no steady-state allocation per flush).
+    change_buf: Vec<VertexId>,
     report: IngestReport,
 }
 
@@ -494,19 +540,52 @@ impl<M: IngestEngine> Writer<M> {
         }
     }
 
+    /// Cuts a snapshot from the mirror: O(chunks) `Arc` clones for the
+    /// cores plus the O(levels) histogram — never an O(n) copy.
     fn compose_snapshot(&self) -> CoreSnapshot {
         let engine = self.engine.engine();
-        let (histogram, degeneracy) = engine.histogram_and_degeneracy();
         CoreSnapshot {
             epoch: self.epoch,
             ops: self.ops,
             num_vertices: engine.graph_ref().num_vertices(),
             num_edges: engine.graph_ref().num_edges(),
-            cores: engine.core_slice().to_vec(),
-            histogram,
-            degeneracy,
+            cores: self.mirror.snapshot_cores(),
+            histogram: self.mirror.histogram(),
+            degeneracy: self.mirror.degeneracy(),
             published_at_ns: self.now(),
         }
+    }
+
+    /// Brings the mirror up to date with the engine after a flush —
+    /// `O(changed)` via the drained change set when tracking is on, or
+    /// the chunk-compare fallback (O(n) compare, O(changed) copy, and
+    /// untouched chunks keep their snapshot-shared allocation).
+    fn sync_mirror(&mut self) {
+        let engine = self.engine.engine_mut();
+        let n = engine.graph_ref().num_vertices();
+        if n > self.mirror.len() {
+            self.mirror.grow(n);
+        }
+        let mut buf = std::mem::take(&mut self.change_buf);
+        buf.clear();
+        if self.tracking && engine.drain_core_changes(&mut buf) {
+            self.report.tracked_drains += 1;
+            let cores = engine.core_slice();
+            for &v in &buf {
+                if self.mirror.apply(v, cores[v as usize]) {
+                    self.report.chunks_copied += 1;
+                }
+            }
+        } else {
+            self.report.full_syncs += 1;
+            let (_, copied) = self.mirror.sync_full(engine.core_slice());
+            self.report.chunks_copied += copied as u64;
+        }
+        self.change_buf = buf;
+        debug_assert!(
+            self.mirror.snapshot_cores().to_vec() == self.engine.engine().core_slice(),
+            "mirror diverged from the engine"
+        );
     }
 
     fn publish(&mut self, handle: &SnapshotHandle) {
@@ -556,12 +635,26 @@ impl<M: IngestEngine> Writer<M> {
             self.report.batch_apply_ns[slot] = apply_ns;
         }
 
+        // Snapshot maintenance: sync the mirror every flush (the change
+        // log must be drained even on non-publishing batches) and
+        // publish per the cadence. Timed on the wall clock even in
+        // scripted mode — publish cost is a real-machine metric, and
+        // reading `Instant` does not perturb scripted determinism.
+        let p0 = Instant::now();
+        self.sync_mirror();
         if self
             .report
             .batches
             .is_multiple_of(self.cfg.publish_every_batches.max(1) as u64)
         {
             self.publish(handle);
+        }
+        let publish_ns = p0.elapsed().as_nanos() as u64;
+        if self.report.publish_ns.len() < LATENCY_SAMPLE_CAP {
+            self.report.publish_ns.push(publish_ns);
+        } else {
+            let slot = (self.report.batches - 1) as usize % LATENCY_SAMPLE_CAP;
+            self.report.publish_ns[slot] = publish_ns;
         }
         self.batches_since_persist += 1;
         if let Some(d) = &self.cfg.durability {
@@ -664,6 +757,7 @@ impl<M: IngestEngine> Writer<M> {
                     if !graceful {
                         // Crash simulation: pending events and the final
                         // persist are lost, shipped journal survives.
+                        self.report.mirror_chunks = self.mirror.num_chunks() as u64;
                         return (self.report, self.engine);
                     }
                     break;
@@ -679,6 +773,7 @@ impl<M: IngestEngine> Writer<M> {
         if self.cfg.durability.is_some() {
             self.persist(true);
         }
+        self.report.mirror_chunks = self.mirror.num_chunks() as u64;
         (self.report, self.engine)
     }
 }

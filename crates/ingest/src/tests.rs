@@ -108,10 +108,10 @@ fn explicit_flush_is_a_barrier_covering_all_submitted() {
     let snap = svc.flush().unwrap();
     assert_eq!(snap.ops, events.len() as u64);
     let oracle = apply_events(&path_graph(8), &events);
-    assert_eq!(snap.cores, core_decomposition(&oracle));
+    assert_eq!(snap.cores.to_vec(), core_decomposition(&oracle));
     assert_eq!(snap.num_edges, oracle.num_edges());
     // Histogram and degeneracy agree with the cores they ship with.
-    let max = snap.cores.iter().copied().max().unwrap();
+    let max = snap.cores.iter().max().unwrap();
     assert_eq!(snap.degeneracy, max);
     assert_eq!(snap.histogram.iter().sum::<usize>(), snap.num_vertices);
     // Flushing again without new events republishes nothing.
@@ -191,7 +191,7 @@ fn churn_stream_end_to_end_matches_oracle() {
             let snap = svc.flush().unwrap();
             // Snapshot consistency at an arbitrary mid-stream barrier.
             let oracle = apply_events(&base, &all_events[..snap.ops as usize]);
-            assert_eq!(snap.cores, core_decomposition(&oracle));
+            assert_eq!(snap.cores.to_vec(), core_decomposition(&oracle));
         }
     }
     let (report, engine) = svc.shutdown();
@@ -225,7 +225,7 @@ fn sliding_window_stream_drains_to_empty() {
         steps += 1;
         if steps.is_multiple_of(37) {
             let snap = svc.flush().unwrap();
-            assert_eq!(snap.cores, core_decomposition(&live));
+            assert_eq!(snap.cores.to_vec(), core_decomposition(&live));
             assert_eq!(snap.num_edges, live.num_edges());
         }
     }
@@ -255,12 +255,15 @@ fn recompute_engine_runs_the_generic_service() {
     }
     let snap = svc.flush().unwrap();
     assert_eq!(
-        snap.cores,
+        snap.cores.to_vec(),
         core_decomposition(&apply_events(&path_graph(6), &events))
     );
-    // Default histogram hook: consistent with the cores.
+    // No change tracking on this engine: the mirror syncs via the
+    // chunk-compare fallback, and the histogram still ships consistent.
     assert_eq!(snap.histogram.iter().sum::<usize>(), 6);
-    let (_, engine) = svc.shutdown();
+    let (report, engine) = svc.shutdown();
+    assert_eq!(report.tracked_drains, 0, "oracle engine has no tracking");
+    assert!(report.full_syncs > 0, "fallback sync path must have run");
     // No persistent index form on this engine.
     let mut sinkhole = Vec::new();
     let mut engine = engine;
@@ -391,6 +394,69 @@ fn crash_recovery_matches_never_crashed_run() {
     let rec2 = recover(&d, 5, PlannerConfig::default(), 64).unwrap();
     assert_eq!(rec2.next_seq, stream.len() as u64);
     assert_eq!(rec2.engine.cores(), engine.cores());
+}
+
+#[test]
+fn publication_shares_untouched_chunks_across_epochs() {
+    // COW publication: a flush whose changes all land in one chunk must
+    // republish every *other* chunk as the same allocation (pointer
+    // equality), and the report must witness the O(changed) cost.
+    use crate::chunked::CHUNK;
+    let n = 3 * CHUNK; // 3 chunks of core numbers
+    let svc = IngestService::spawn_planned(
+        DynamicGraph::with_vertices(n),
+        7,
+        IngestConfig::scripted().max_batch(1000),
+    )
+    .unwrap();
+
+    // Epoch 1: a triangle among vertices 0..3 (chunk 0 only).
+    svc.submit(GraphEvent::EdgeInserted(0, 1)).unwrap();
+    svc.submit(GraphEvent::EdgeInserted(1, 2)).unwrap();
+    svc.submit(GraphEvent::EdgeInserted(0, 2)).unwrap();
+    let s1 = svc.flush().unwrap();
+    assert_eq!(s1.cores.num_chunks(), 3);
+    assert_eq!(s1.core(0), 2);
+
+    // Epoch 2: a single edge inside chunk 2.
+    let far = (2 * CHUNK) as u32;
+    svc.submit(GraphEvent::EdgeInserted(far, far + 1)).unwrap();
+    let s2 = svc.flush().unwrap();
+    assert_eq!(s2.core(far), 1);
+
+    // Chunks 0 and 1 were untouched by the second flush: pointer-equal
+    // across the two epochs. Chunk 2 was dirtied: a fresh allocation.
+    assert!(
+        s1.cores.chunk_ptr_eq(&s2.cores, 0),
+        "chunk 0 must be shared"
+    );
+    assert!(
+        s1.cores.chunk_ptr_eq(&s2.cores, 1),
+        "chunk 1 must be shared"
+    );
+    assert!(
+        !s1.cores.chunk_ptr_eq(&s2.cores, 2),
+        "chunk 2 was rewritten"
+    );
+    assert_eq!(s1.cores.shared_chunks(&s2.cores), 2);
+
+    // Old epochs stay immutable and self-consistent.
+    assert_eq!(s1.core(far), 0);
+    assert_eq!(s1.histogram, vec![n - 3, 0, 3]);
+    assert_eq!(s2.histogram, vec![n - 5, 2, 3]);
+
+    let (report, _) = svc.shutdown();
+    assert_eq!(report.mirror_chunks, 3);
+    assert!(
+        report.tracked_drains >= 2,
+        "planner engine serves tracked drains"
+    );
+    assert_eq!(report.full_syncs, 0);
+    // Two flushes, each dirtying one shared chunk => exactly one COW
+    // copy per flush (the flush()-barrier publish clones every chunk
+    // into the snapshot, forcing the next write to copy).
+    assert_eq!(report.chunks_copied, 2);
+    assert_eq!(report.publish_ns.len() as u64, report.batches);
 }
 
 #[test]

@@ -94,12 +94,27 @@ proptest! {
             last_ops = snap.ops;
             published += 1;
             let prefix = oracle_cores(&base, &events[..snap.ops as usize]);
-            prop_assert_eq!(&snap.cores, &prefix, "torn read at epoch {}", snap.epoch);
-            // The derived fields ship consistently with the cores.
+            // The COW-published chunked cores must be bit-identical to a
+            // full rebuild on the covered prefix — chunk sharing across
+            // epochs never leaks a stale or future value.
+            prop_assert_eq!(
+                snap.cores.to_vec(),
+                prefix.clone(),
+                "torn read at epoch {}",
+                snap.epoch
+            );
+            // The derived fields ship consistently with the cores: the
+            // incrementally maintained histogram equals the one a full
+            // rescan would produce.
             prop_assert_eq!(
                 snap.degeneracy,
                 prefix.iter().copied().max().unwrap_or(0)
             );
+            let mut expect_hist = vec![0usize; snap.degeneracy as usize + 1];
+            for &c in &prefix {
+                expect_hist[c as usize] += 1;
+            }
+            prop_assert_eq!(&snap.histogram, &expect_hist, "histogram drifted");
             prop_assert_eq!(snap.histogram.iter().sum::<usize>(), snap.num_vertices);
             let members = snap.kcore_members(snap.degeneracy);
             prop_assert!(!members.is_empty() || snap.degeneracy == 0);

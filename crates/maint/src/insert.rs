@@ -172,6 +172,7 @@ impl<S: OrderSeq> OrderCore<S> {
                 .filter(|&w| self.vc_mark[w as usize] == epoch),
         );
         stats.changed += vstar.len();
+        self.change_log.record_slice(&vstar);
         self.level_counts[k as usize] -= vstar.len();
         self.level_counts[k as usize + 1] += vstar.len();
 

@@ -7,6 +7,46 @@ use kcore_decomp::{
 use kcore_graph::{DynamicGraph, VertexId};
 use kcore_order::{MinRankHeap, OrderSeq, OrderTreap, VertexLists, NONE};
 
+/// Opt-in record of which vertices changed core number since the last
+/// drain — the `O(changed)` feed for copy-on-write snapshot publication
+/// (the streaming writer applies the drained ids to its chunked mirror
+/// instead of re-copying all `n` core numbers per epoch).
+///
+/// Entries may repeat (a vertex promoted and later dismissed in one
+/// batch appears twice); consumers read the *final* core value per id,
+/// so duplicates are harmless. `full` marks the log overwhelmed (e.g. a
+/// rebuild whose diff could not be taken) — the next drain then reports
+/// "do a full sync" instead of a vertex list.
+#[derive(Debug, Default)]
+pub(crate) struct CoreChangeLog {
+    pub(crate) enabled: bool,
+    pub(crate) full: bool,
+    pub(crate) ids: Vec<VertexId>,
+}
+
+impl CoreChangeLog {
+    /// `true` while per-vertex recording is worthwhile.
+    #[inline]
+    pub(crate) fn is_active(&self) -> bool {
+        self.enabled && !self.full
+    }
+
+    /// Records one changed vertex (no-op when inactive).
+    #[inline]
+    pub(crate) fn record(&mut self, v: VertexId) {
+        if self.is_active() {
+            self.ids.push(v);
+        }
+    }
+
+    /// Records a batch of changed vertices (no-op when inactive).
+    pub(crate) fn record_slice(&mut self, vs: &[VertexId]) {
+        if self.is_active() {
+            self.ids.extend_from_slice(vs);
+        }
+    }
+}
+
 /// A dynamic graph whose core numbers are maintained by the order-based
 /// algorithms of the paper. `S` is the `A_k` order structure (treap by
 /// default; see [`crate::TagOrderCore`] for the ablation variant).
@@ -66,6 +106,9 @@ pub struct OrderCore<S: OrderSeq = OrderTreap> {
     pub(crate) cd_work: Vec<u32>,
     pub(crate) touch_mark: Vec<u32>,
     pub(crate) vstar: Vec<VertexId>,
+
+    /// Opt-in core-change tracking for incremental snapshot publication.
+    pub(crate) change_log: CoreChangeLog,
 }
 
 impl<S: OrderSeq> std::fmt::Debug for OrderCore<S> {
@@ -128,6 +171,7 @@ impl<S: OrderSeq> OrderCore<S> {
             cd_work: vec![0; n],
             touch_mark: vec![0; n],
             vstar: Vec::new(),
+            change_log: CoreChangeLog::default(),
         };
         core.install_korder(ko);
         core
@@ -142,6 +186,22 @@ impl<S: OrderSeq> OrderCore<S> {
     /// would (asserted by [`OrderCore::validate`] in tests).
     pub fn rebuild_from_korder(&mut self, ko: KOrder) {
         assert_eq!(ko.core.len(), self.graph.num_vertices());
+        // The rebuild replaces `core` wholesale; tracking needs the diff.
+        // The O(n) compare is amortised by the O(n + m) rebuild itself,
+        // and a rebuild with *unchanged* cores (the deferred k-order
+        // refresh after a recompute) records nothing.
+        if self.change_log.is_active() {
+            if ko.core.len() == self.core.len() {
+                for v in 0..self.core.len() {
+                    if self.core[v] != ko.core[v] {
+                        self.change_log.record(v as VertexId);
+                    }
+                }
+            } else {
+                self.change_log.full = true;
+                self.change_log.ids.clear();
+            }
+        }
         self.mcd = compute_mcd(&self.graph, &ko.core);
         self.install_korder(ko);
     }
@@ -246,6 +306,33 @@ impl<S: OrderSeq> OrderCore<S> {
     #[inline]
     pub fn mcd(&self, v: VertexId) -> u32 {
         self.mcd[v as usize]
+    }
+
+    /// Turns on core-change tracking: from now on every vertex whose
+    /// core number changes (promotion, dismissal, or recompute) is
+    /// recorded, and [`OrderCore::drain_core_changes`] hands the set
+    /// over in `O(changed)`. The streaming ingest writer uses this to
+    /// publish copy-on-write snapshots without an `O(n)` copy per epoch.
+    pub fn enable_core_change_tracking(&mut self) {
+        self.change_log.enabled = true;
+        self.change_log.full = false;
+        self.change_log.ids.clear();
+    }
+
+    /// Appends the vertices whose core number changed since the last
+    /// drain to `out` (possibly with duplicates — read the final core
+    /// value per id) and clears the log. Returns `false` when tracking
+    /// is off or the log was overwhelmed: the caller must then fall
+    /// back to a full compare against [`OrderCore::cores`].
+    pub fn drain_core_changes(&mut self, out: &mut Vec<VertexId>) -> bool {
+        if !self.change_log.enabled || self.change_log.full {
+            self.change_log.full = false;
+            self.change_log.ids.clear();
+            return false;
+        }
+        out.extend_from_slice(&self.change_log.ids);
+        self.change_log.ids.clear();
+        true
     }
 
     /// Number of Observation 6.1 demotions (candidates retracted out of

@@ -558,6 +558,19 @@ impl<S: OrderSeq> PlannedCore<S> {
         self.order_fresh
     }
 
+    /// Turns on core-change tracking on the underlying engine (see
+    /// [`OrderCore::enable_core_change_tracking`]); the planner's
+    /// recompute path records its diff into the same log.
+    pub fn enable_core_change_tracking(&mut self) {
+        self.engine.enable_core_change_tracking();
+    }
+
+    /// Drains the tracked core changes (see
+    /// [`OrderCore::drain_core_changes`]).
+    pub fn drain_core_changes(&mut self, out: &mut Vec<VertexId>) -> bool {
+        self.engine.drain_core_changes(out)
+    }
+
     /// Current core number of `v`.
     #[inline]
     pub fn core(&self, v: VertexId) -> u32 {
@@ -852,11 +865,19 @@ impl<S: OrderSeq> PlannedCore<S> {
             Some(par) => par_core_decomposition(&self.engine.graph, par),
             None => core_decomposition(&self.engine.graph),
         };
-        let changed = new_core
-            .iter()
-            .zip(self.engine.core.iter())
-            .filter(|(a, b)| a != b)
-            .count();
+        // The diff both counts the churn for the stats and — when
+        // core-change tracking is on — feeds the change log, at no extra
+        // asymptotic cost (the recompute already paid O(n + m)).
+        let mut changed = 0usize;
+        let log_active = self.engine.change_log.is_active();
+        for (v, (&new, &old)) in new_core.iter().zip(&self.engine.core).enumerate() {
+            if new != old {
+                changed += 1;
+                if log_active {
+                    self.engine.change_log.ids.push(v as VertexId);
+                }
+            }
+        }
         stats.visited += self.engine.graph.num_vertices();
         stats.changed += changed;
         self.engine.core = new_core;

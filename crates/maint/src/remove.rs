@@ -122,6 +122,7 @@ impl<S: OrderSeq> OrderCore<S> {
             self.vstar = vstar;
             return;
         }
+        self.change_log.record_slice(&vstar);
         self.level_counts[k as usize] -= vstar.len();
         self.level_counts[k as usize - 1] += vstar.len();
 

@@ -608,3 +608,81 @@ fn kcore_members_allocates_exact_capacity() {
         assert_eq!(members.capacity(), members.len());
     }
 }
+
+// ---- core-change tracking (the O(changed) snapshot-publication feed) ----
+
+/// Applies drained change ids to a stale copy of the cores and checks it
+/// reaches the engine's current state — the exact contract the ingest
+/// writer's chunked mirror relies on.
+fn assert_drain_covers<F: FnOnce(&mut TreapOrderCore)>(g: &DynamicGraph, mutate: F) {
+    let mut oc = treap_core(g);
+    oc.enable_core_change_tracking();
+    let before = oc.cores().to_vec();
+    mutate(&mut oc);
+    let mut changes = Vec::new();
+    assert!(
+        oc.drain_core_changes(&mut changes),
+        "tracking active, drain must report the tracked set"
+    );
+    let mut patched = before;
+    for &v in &changes {
+        patched[v as usize] = oc.core(v);
+    }
+    assert_eq!(patched, oc.cores(), "drained ids must cover every change");
+    // A second drain is empty: the log was cleared.
+    let mut again = Vec::new();
+    assert!(oc.drain_core_changes(&mut again));
+    assert!(again.is_empty());
+}
+
+#[test]
+fn change_tracking_covers_single_edge_updates() {
+    assert_drain_covers(&fixtures::path(6), |oc| {
+        oc.insert_edge(0, 5).unwrap();
+        oc.insert_edge(1, 4).unwrap();
+        oc.remove_edge(2, 3).unwrap();
+    });
+}
+
+#[test]
+fn change_tracking_covers_batches_and_rebuilds() {
+    let g = fixtures::PaperGraph::small().graph;
+    assert_drain_covers(&g, |oc| {
+        oc.insert_edges(&[(0, 9), (3, 12), (1, 7)]);
+        oc.remove_edges(&[(0, 9)]);
+        // A wholesale rebuild must diff instead of losing the changes.
+        oc.insert_edge(2, 11).unwrap();
+        oc.rebuild_via_decomposition();
+    });
+}
+
+#[test]
+fn change_tracking_off_reports_full_sync() {
+    let mut oc = treap_core(&fixtures::triangle());
+    let mut out = Vec::new();
+    assert!(
+        !oc.drain_core_changes(&mut out),
+        "tracking off => full sync"
+    );
+    assert!(out.is_empty());
+}
+
+#[test]
+fn planned_core_tracks_through_recompute() {
+    use crate::planner::{PlanPolicy, PlannedCore};
+    let g = fixtures::PaperGraph::small().graph;
+    let mut pc: PlannedCore = PlannedCore::with_policy(g, 7, PlanPolicy::ForceRecompute);
+    pc.enable_core_change_tracking();
+    let before = pc.cores().to_vec();
+    pc.insert_edges(&[(0, 9), (3, 12), (1, 7)]);
+    // Force the deferred k-order rebuild too: cores are unchanged by it,
+    // so it must not pollute or invalidate the log.
+    pc.insert_edge(2, 11).unwrap();
+    let mut changes = Vec::new();
+    assert!(pc.drain_core_changes(&mut changes));
+    let mut patched = before;
+    for &v in &changes {
+        patched[v as usize] = pc.core(v);
+    }
+    assert_eq!(patched, pc.cores());
+}
