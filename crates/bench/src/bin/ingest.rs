@@ -33,6 +33,16 @@
 //!   `--max-publish-cost-ratio R` gates the growth ratio between the
 //!   largest and smallest |V|.
 //!
+//! The fault-tolerance layer contributes a **recovery** section: a
+//! dedicated empty-base durable run is copied and deliberately damaged
+//! once per escalation rung (clean, torn journal tail, corrupt newest
+//! snapshot, unparseable journal, no snapshots at all) and `recover()`
+//! is timed on each — every rung's restored state is asserted
+//! bit-identical to the oracle on exactly the prefix its
+//! `RecoveryReport` claims durable. A CPU micro-benchmark prices the
+//! KJRN v2 checksummed frame encode against the plain v1 record encode;
+//! `--max-append-overhead-ratio R` gates that ratio.
+//!
 //! Every section's final core numbers are asserted equal to the
 //! recompute oracle before any number is reported. `--min-ingest-throughput R`
 //! turns the churn edges/sec into a CI exit gate; both gates are
@@ -44,7 +54,7 @@
 use kcore_decomp::core_decomposition;
 use kcore_gen::{barabasi_albert, churn_stream, timestamp_edges, SlidingWindow};
 use kcore_graph::DynamicGraph;
-use kcore_ingest::durability::DurabilityConfig;
+use kcore_ingest::durability::{encode_frame, snapshot_generation_path, DurabilityConfig};
 use kcore_ingest::sources::{apply_events, churn_events, window_event};
 use kcore_ingest::{recover, GraphEvent, IngestConfig, IngestService};
 use kcore_maint::PlannerConfig;
@@ -66,6 +76,9 @@ struct Args {
     /// `0.0` disables the gate (publish p50 growth ratio, largest |V|
     /// over smallest, in the scaling section).
     max_publish_cost_ratio: f64,
+    /// `0.0` disables the gate (v2 checksummed journal encode cost over
+    /// the plain v1 encode, in the recovery section).
+    max_append_overhead_ratio: f64,
 }
 
 impl Args {
@@ -82,6 +95,7 @@ impl Args {
             out: "BENCH_ingest.json".to_string(),
             min_ingest_throughput: 0.0,
             max_publish_cost_ratio: 0.0,
+            max_append_overhead_ratio: 0.0,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -111,11 +125,16 @@ impl Args {
                     a.max_publish_cost_ratio =
                         need(i).parse().expect("bad --max-publish-cost-ratio")
                 }
+                "--max-append-overhead-ratio" => {
+                    a.max_append_overhead_ratio =
+                        need(i).parse().expect("bad --max-append-overhead-ratio")
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --n N  --attach M  --batches B  --inserts-per-batch I  \
                          --removes-per-batch R  --max-batch S  --queue Q  --seed S  \
-                         --out FILE  --min-ingest-throughput EPS  --max-publish-cost-ratio R"
+                         --out FILE  --min-ingest-throughput EPS  --max-publish-cost-ratio R  \
+                         --max-append-overhead-ratio R"
                     );
                     std::process::exit(0);
                 }
@@ -364,6 +383,58 @@ fn run_scale_point(
     }
 }
 
+/// One timed `recover()` against a deliberately damaged copy of a
+/// durable directory: which ladder rung fired and how long the rebuild
+/// took.
+struct RungTiming {
+    scenario: &'static str,
+    rung: String,
+    secs: f64,
+    replayed: usize,
+    durable_ops: u64,
+}
+
+/// Copies every regular file of a durable directory (journal + snapshot
+/// generations) into a fresh scenario directory.
+fn copy_durable_dir(src: &std::path::Path, dst: &std::path::Path) {
+    std::fs::remove_dir_all(dst).ok();
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_type().unwrap().is_file() {
+            std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+        }
+    }
+}
+
+/// Flips one byte near the end of a file — lands in a v2 snapshot's
+/// payload (or a journal record body), past the headers, so the per-file
+/// CRC is what must catch it.
+fn flip_last_byte(path: &std::path::Path) {
+    let mut bytes = std::fs::read(path).unwrap();
+    let at = bytes.len() - 1;
+    bytes[at] ^= 0xFF;
+    std::fs::write(path, bytes).unwrap();
+}
+
+/// The plain v1 journal encoding (`seq u64 | kind u8 | u u32 | v u32`,
+/// no checksums, no frame header) — the baseline the v2 checksummed
+/// frame's append cost is measured against.
+fn encode_plain_v1(entries: &[kcore_maint::journal::JournalEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(entries.len() * 17);
+    for e in entries {
+        out.extend_from_slice(&e.seq.to_le_bytes());
+        let (kind, u, v) = match e.event {
+            GraphEvent::EdgeInserted(u, v) => (1u8, u, v),
+            GraphEvent::EdgeRemoved(u, v) => (2u8, u, v),
+        };
+        out.push(kind);
+        out.extend_from_slice(&u.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
 fn main() {
     let args = Args::parse();
     let host = std::thread::available_parallelism()
@@ -479,6 +550,187 @@ fn main() {
     );
     std::fs::remove_dir_all(&dir).ok();
 
+    // ---- recovery ladder: timed recover() per escalation rung ----
+    // A dedicated durable run over the EMPTY universe: every rung —
+    // including genesis replay, which rebuilds from the journal alone —
+    // must land bit-identical to the oracle, and that is only true when
+    // no pre-stream state lives exclusively in the checkpoints.
+    let ladder_src = std::env::temp_dir().join("kcore_bench_ingest_ladder");
+    std::fs::remove_dir_all(&ladder_src).ok();
+    std::fs::create_dir_all(&ladder_src).unwrap();
+    // No periodic snapshots: the rotation then deterministically holds
+    // gen0 = the final shutdown checkpoint (all ops) and gen1 = the
+    // spawn-time checkpoint (0 ops), independent of flush timing.
+    let ld = DurabilityConfig::in_dir(&ladder_src);
+    let _ = run_section(
+        "ladder",
+        &empty,
+        &churn,
+        wall_cfg().durable(ld.clone()),
+        args.seed,
+        usize::MAX,
+    );
+    let gen1 = snapshot_generation_path(&ld.snapshot_path, 1);
+    assert!(
+        gen1.exists(),
+        "ladder run must leave a rotated older snapshot generation"
+    );
+    // Each scenario damages a fresh copy so the rungs are independent.
+    // `scenario → (damage, expected rung, expected durable prefix)`; the
+    // oracle check below holds recovery to exactly the prefix its report
+    // claims. `None` = some proper prefix (frames are atomic, so a torn
+    // tail drops the whole final frame and the exact count depends on
+    // how the run batched).
+    let total = churn.len() as u64;
+    type Damage = Box<dyn Fn(&std::path::Path)>;
+    let scenarios: Vec<(&'static str, Damage, &'static str, Option<u64>)> = vec![
+        (
+            "primary",
+            Box::new(|_d: &std::path::Path| {}),
+            "primary",
+            Some(total),
+        ),
+        (
+            // Demote gen0 to the 0-ops spawn checkpoint (else the final
+            // shutdown snapshot is *ahead* of the chopped journal and
+            // the snapshot-only rung fires instead), then tear the
+            // journal mid-record: recovery keeps the checksummed frame
+            // prefix and replays it.
+            "truncated_tail",
+            Box::new(|d: &std::path::Path| {
+                std::fs::copy(d.join("ingest.ksnp.1"), d.join("ingest.ksnp")).unwrap();
+                let j = d.join("ingest.kjrn");
+                let len = std::fs::metadata(&j).unwrap().len();
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(&j)
+                    .unwrap()
+                    .set_len(len - 7)
+                    .unwrap();
+            }),
+            "truncated-tail",
+            None,
+        ),
+        (
+            // Corrupt the newest snapshot's payload: its CRC rejects it
+            // and the retained older generation recovers, replaying the
+            // journal difference.
+            "older_generation",
+            Box::new(|d: &std::path::Path| flip_last_byte(&d.join("ingest.ksnp"))),
+            "older-generation(1)",
+            Some(total),
+        ),
+        (
+            // Corrupt the journal magic: the journal is unparseable, so
+            // state comes from the newest snapshot alone and the journal
+            // is reset at its coverage.
+            "snapshot_only",
+            Box::new(|d: &std::path::Path| {
+                let j = d.join("ingest.kjrn");
+                let mut bytes = std::fs::read(&j).unwrap();
+                bytes[0] ^= 0xFF;
+                std::fs::write(&j, bytes).unwrap();
+            }),
+            "snapshot-only",
+            Some(total),
+        ),
+        (
+            // Delete every checkpoint: the full journal replays from the
+            // empty universe.
+            "genesis",
+            Box::new(|d: &std::path::Path| {
+                std::fs::remove_file(d.join("ingest.ksnp")).unwrap();
+                std::fs::remove_file(d.join("ingest.ksnp.1")).unwrap();
+            }),
+            "genesis-replay",
+            Some(total),
+        ),
+    ];
+    let mut rungs: Vec<RungTiming> = Vec::new();
+    for (scenario, damage, expect_rung, expect_durable) in &scenarios {
+        let sdir = std::env::temp_dir().join(format!("kcore_bench_ingest_rung_{scenario}"));
+        copy_durable_dir(&ladder_src, &sdir);
+        damage(&sdir);
+        let rd = DurabilityConfig::in_dir(&sdir);
+        let t0 = Instant::now();
+        let rec = recover(&rd, args.seed, PlannerConfig::default(), args.max_batch)
+            .unwrap_or_else(|e| panic!("rung {scenario}: recover failed: {e:?}"));
+        let secs = t0.elapsed().as_secs_f64();
+        println!(
+            "recovery rung {scenario:<16} -> {:<20} {secs:>8.4}s | {}",
+            rec.report.rung.to_string(),
+            rec.report
+        );
+        assert_eq!(
+            rec.report.rung.to_string(),
+            *expect_rung,
+            "rung {scenario}: wrong ladder rung fired"
+        );
+        match expect_durable {
+            Some(want) => assert_eq!(
+                rec.report.durable_ops, *want,
+                "rung {scenario}: unexpected durable prefix"
+            ),
+            None => assert!(
+                rec.report.durable_ops < total,
+                "rung {scenario}: a torn tail must lose its final frame"
+            ),
+        }
+        assert_eq!(
+            rec.engine.cores(),
+            &oracle_cores(&empty, &churn[..rec.report.durable_ops as usize])[..],
+            "rung {scenario}: recovered state diverged from the oracle on its reported prefix"
+        );
+        rungs.push(RungTiming {
+            scenario,
+            rung: rec.report.rung.to_string(),
+            secs,
+            replayed: rec.report.replayed,
+            durable_ops: rec.report.durable_ops,
+        });
+        std::fs::remove_dir_all(&sdir).ok();
+    }
+    std::fs::remove_dir_all(&ladder_src).ok();
+
+    // ---- CRC append overhead: v2 checksummed frames vs plain v1 ----
+    // The per-event CPU price of the per-record CRC32 + frame marker on
+    // the journal's hot append path, measured on the encode alone (no
+    // I/O, no fsync — those dominate real appends and would bury the
+    // signal being gated).
+    let crc_entries: Vec<kcore_maint::journal::JournalEntry> = (0..512u64)
+        .map(|i| kcore_maint::journal::JournalEntry {
+            seq: i,
+            event: if i % 3 == 0 {
+                GraphEvent::EdgeRemoved((i % 97) as u32, ((i + 1) % 97) as u32)
+            } else {
+                GraphEvent::EdgeInserted((i % 89) as u32, ((i * 7 + 3) % 89) as u32)
+            },
+            transitions: Vec::new(),
+        })
+        .collect();
+    const CRC_REPS: u32 = 2000;
+    let t0 = Instant::now();
+    for _ in 0..CRC_REPS {
+        std::hint::black_box(encode_plain_v1(std::hint::black_box(&crc_entries)));
+    }
+    let v1_ns_per_event =
+        t0.elapsed().as_nanos() as f64 / (CRC_REPS as f64 * crc_entries.len() as f64);
+    let t0 = Instant::now();
+    for _ in 0..CRC_REPS {
+        std::hint::black_box(encode_frame(std::hint::black_box(&crc_entries)));
+    }
+    let v2_ns_per_event =
+        t0.elapsed().as_nanos() as f64 / (CRC_REPS as f64 * crc_entries.len() as f64);
+    let append_overhead_ratio = if v1_ns_per_event > 0.0 {
+        v2_ns_per_event / v1_ns_per_event
+    } else {
+        1.0
+    };
+    println!(
+        "crc append overhead: v1 {v1_ns_per_event:.1}ns/event, v2 {v2_ns_per_event:.1}ns/event \
+         = {append_overhead_ratio:.2}x"
+    );
+
     // ---- publish-cost scaling: fixed change volume, growing |V| ----
     let scale_ns: Vec<usize> = [args.n / 4, args.n, args.n * 4]
         .into_iter()
@@ -533,6 +785,16 @@ fn main() {
     } else {
         "enforced".to_string()
     };
+    let append_gate_status = if args.max_append_overhead_ratio <= 0.0 {
+        "disabled".to_string()
+    } else if host < GATE_CORES {
+        format!(
+            "waived (host_parallelism {host} < {GATE_CORES}: single shared core makes \
+             nanosecond-scale encode timings scheduling noise)"
+        )
+    } else {
+        "enforced".to_string()
+    };
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -561,6 +823,27 @@ fn main() {
         "  \"recover\": {{ \"events\": {}, \"replayed\": {}, \"secs\": {recover_secs:.4}, \
          \"journal_bytes\": {journal_bytes} }},\n",
         rec.next_seq, rec.replayed
+    ));
+    json.push_str("  \"recovery\": {\n    \"rungs\": [\n");
+    for (i, r) in rungs.iter().enumerate() {
+        json.push_str(&format!(
+            "      {{ \"scenario\": \"{}\", \"rung\": \"{}\", \"secs\": {:.4}, \
+             \"replayed\": {}, \"durable_ops\": {} }}{}\n",
+            r.scenario,
+            r.rung,
+            r.secs,
+            r.replayed,
+            r.durable_ops,
+            if i + 1 < rungs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "    ],\n    \"crc_append\": {{ \"v1_ns_per_event\": {v1_ns_per_event:.2}, \
+         \"v2_ns_per_event\": {v2_ns_per_event:.2}, \
+         \"overhead_ratio\": {append_overhead_ratio:.3} }},\n    \
+         \"max_append_overhead_ratio\": {:.2},\n    \
+         \"append_gate\": \"{append_gate_status}\"\n  }},\n",
+        args.max_append_overhead_ratio
     ));
     json.push_str("  \"publish_scaling\": [\n");
     for (i, p) in scaling.iter().enumerate() {
@@ -602,7 +885,8 @@ fn main() {
     f.write_all(json.as_bytes())
         .expect("write BENCH_ingest.json");
     println!(
-        "wrote {} (gate: {gate_status}, publish_gate: {publish_gate_status})",
+        "wrote {} (gate: {gate_status}, publish_gate: {publish_gate_status}, \
+         append_gate: {append_gate_status})",
         args.out
     );
 
@@ -620,6 +904,14 @@ fn main() {
              (allowed {:.2}x): publication is not O(changed)",
             scale_ns.last().unwrap_or(&1) / scale_ns.first().unwrap_or(&1).max(&1),
             args.max_publish_cost_ratio
+        );
+        failed = true;
+    }
+    if append_gate_status == "enforced" && append_overhead_ratio > args.max_append_overhead_ratio {
+        eprintln!(
+            "GATE FAILED: v2 checksummed append costs {append_overhead_ratio:.2}x the plain v1 \
+             encode (allowed {:.2}x)",
+            args.max_append_overhead_ratio
         );
         failed = true;
     }

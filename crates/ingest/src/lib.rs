@@ -22,9 +22,20 @@
 //!   array ([`chunked::ChunkedCores`]) and consecutive epochs share
 //!   every chunk the flush did not dirty.
 //! * **Durability** — the writer ships the [`kcore_maint::journal`]
-//!   tail into an append-only journal file and periodically persists the
-//!   full index; [`recover`] restores snapshot + journal tail (replayed
-//!   in planner-priced batches) after a crash.
+//!   tail into an append-only, per-record-checksummed journal file
+//!   (KJRN v2) and periodically persists the full index into a rotated
+//!   set of snapshot generations; [`recover`] restores snapshot +
+//!   journal tail (replayed in planner-priced batches) after a crash,
+//!   escalating down a ladder of fallbacks (truncate torn tail → older
+//!   snapshot generation → genesis replay) and reporting which rung
+//!   fired in a [`RecoveryReport`].
+//! * **Fault tolerance** — storage I/O is routed through a
+//!   [`faults::JournalIo`] seam so tests inject short writes, failed
+//!   fsyncs, bit flips, and crashes at scripted operation counts; the
+//!   writer itself is supervised ([`ServiceHealth`]): engine panics are
+//!   caught, readers keep the last published epoch, and the service
+//!   rebuilds itself through [`recover`] under a bounded
+//!   [`RecoveryPolicy`] backoff.
 //!
 //! ```
 //! use kcore_ingest::{GraphEvent, IngestConfig, IngestService};
@@ -48,17 +59,23 @@
 
 pub mod chunked;
 pub mod durability;
+pub mod faults;
 pub mod service;
 pub mod snapshot;
 pub mod sources;
 
 pub use chunked::{ChunkedCores, CoreMirror, CHUNK};
 pub use durability::{
-    read_journal, recover, DurabilityConfig, JournalSink, RecoverError, Recovered,
+    persist_index_snapshot, read_journal, recover, snapshot_generation_path, DurabilityConfig,
+    JournalContents, JournalSink, RecoverError, Recovered, RecoveryReport, RecoveryRung,
+};
+pub use faults::{
+    FaultKind, FaultPlan, FlakyEngine, FlakyProbe, JournalIo, OpClass, StorageHandle,
 };
 pub use kcore_maint::journal::GraphEvent;
 pub use service::{
     ClockMode, IngestConfig, IngestEngine, IngestError, IngestPause, IngestReport, IngestService,
+    RecoveryPolicy, RetryBudget, ServiceHealth,
 };
 pub use snapshot::{CoreSnapshot, SnapshotHandle, SnapshotReceiver};
 

@@ -27,9 +27,26 @@
 //! instead of injecting a closure the writer polls — which would race
 //! with event arrival — the scripted clock serialises time itself into
 //! the event stream.)
+//!
+//! ## Supervision and self-healing
+//!
+//! The writer is supervised: batch application runs under
+//! `catch_unwind`, journal/checkpoint I/O errors are contained instead
+//! of fatal, and a [`ServiceHealth`] state machine
+//! (`Healthy → Degraded → Recovering → Failed`) is exported through
+//! [`IngestService::health`]. When the engine panics mid-batch the
+//! writer discards the poisoned state and rebuilds through
+//! [`crate::durability::recover`] under a bounded, scripted-clock-aware
+//! backoff ([`RecoveryPolicy`]); readers keep serving the last published
+//! epoch throughout — publication is the last thing recovery does, and
+//! epochs stay monotone because the epoch counter lives in the writer,
+//! not the engine. Only when every rung of the recovery ladder is
+//! exhausted does the service park in `Failed`, still serving reads.
 
 use crate::chunked::CoreMirror;
-use crate::durability::{DurabilityConfig, JournalSink, Recovered};
+use crate::durability::{
+    persist_index_snapshot, recover, DurabilityConfig, JournalSink, Recovered,
+};
 use crate::snapshot::{CoreSnapshot, SnapshotHandle, SnapshotReceiver};
 use kcore_graph::{DynamicGraph, VertexId};
 use kcore_maint::journal::{replay_batched, GraphEvent, Journaled};
@@ -37,6 +54,8 @@ use kcore_maint::{
     CoreMaintainer, PlannedCore, PlannerConfig, RecomputeCore, TreapOrderCore, UpdateStats,
 };
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -72,6 +91,15 @@ pub trait IngestEngine: CoreMaintainer + Send + 'static {
             "engine has no persistent index form",
         ))
     }
+
+    /// Replaces this engine's state with one rebuilt by
+    /// [`crate::durability::recover`], keeping any wrapper-local
+    /// configuration. Returns `false` (the default) for engines that
+    /// cannot adopt a recovered [`PlannedCore`] — the supervisor then
+    /// parks in [`ServiceHealth::Failed`] instead of self-healing.
+    fn adopt_recovered(&mut self, _rec: Recovered) -> bool {
+        false
+    }
 }
 
 impl IngestEngine for PlannedCore {
@@ -88,6 +116,11 @@ impl IngestEngine for PlannedCore {
         // `order()` refreshes the deferred k-order first: the persisted
         // form always round-trips through `OrderCore::load` validation.
         self.order().save(out)
+    }
+
+    fn adopt_recovered(&mut self, rec: Recovered) -> bool {
+        *self = rec.engine;
+        true
     }
 }
 
@@ -110,6 +143,23 @@ impl IngestEngine for TreapOrderCore {
 /// the writer exercises the chunk-compare fallback — and durability is
 /// unsupported.
 impl IngestEngine for RecomputeCore {}
+
+impl IngestEngine for crate::faults::FlakyEngine {
+    fn enable_core_change_tracking(&mut self) -> bool {
+        // Tracking would observe the poisoned half-batch; the mirror's
+        // chunk-compare fallback is the robust path for a flaky engine.
+        false
+    }
+
+    fn persist_index(&mut self, out: &mut dyn io::Write) -> io::Result<()> {
+        self.persist_inner(out)
+    }
+
+    fn adopt_recovered(&mut self, rec: Recovered) -> bool {
+        self.replace_inner(rec.engine);
+        true
+    }
+}
 
 /// Submission failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,6 +194,90 @@ pub enum ClockMode {
     Scripted,
 }
 
+/// The writer's health state machine, exported through
+/// [`IngestService::health`]. Transitions:
+/// `Healthy → Degraded` on contained I/O trouble (failed journal ship
+/// or fsync, failed checkpoint) and after a recovery;
+/// `Degraded → Healthy` after [`RecoveryPolicy::healthy_after`] clean
+/// flushes; `→ Recovering` on an engine panic (readers keep serving the
+/// last published epoch); `Recovering → Degraded` when `recover()`
+/// succeeds; `→ Failed` when retries are exhausted — the writer then
+/// drops events but keeps serving reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum ServiceHealth {
+    /// Everything applied, shipped, and persisted cleanly.
+    #[default]
+    Healthy = 0,
+    /// Serving and applying, but some durability work is outstanding or
+    /// state was recently rebuilt; clears after clean flushes.
+    Degraded = 1,
+    /// The engine is down; the supervisor is rebuilding it through
+    /// `recover()` under backoff. Events are buffered (bounded), reads
+    /// serve the last published epoch.
+    Recovering = 2,
+    /// Recovery exhausted or unsupported: events are dropped, reads
+    /// still serve the last published epoch.
+    Failed = 3,
+}
+
+impl ServiceHealth {
+    fn from_u8(v: u8) -> ServiceHealth {
+        match v {
+            0 => ServiceHealth::Healthy,
+            1 => ServiceHealth::Degraded,
+            2 => ServiceHealth::Recovering,
+            _ => ServiceHealth::Failed,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceHealth::Healthy => write!(f, "healthy"),
+            ServiceHealth::Degraded => write!(f, "degraded"),
+            ServiceHealth::Recovering => write!(f, "recovering"),
+            ServiceHealth::Failed => write!(f, "failed"),
+        }
+    }
+}
+
+/// How the supervisor retries [`crate::durability::recover`] after an
+/// engine panic, and when a degraded service is considered healthy
+/// again. Backoff delays are writer-clock nanoseconds: scripted ticks
+/// drive them deterministically in tests, wall time in production.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// `recover()` attempts per incident before parking in
+    /// [`ServiceHealth::Failed`]. Also bounds consecutive failed
+    /// journal-ship rounds.
+    pub max_attempts: u32,
+    /// Delay before the 2nd attempt (the 1st is immediate).
+    pub backoff_base_ns: u64,
+    /// Multiplier between consecutive attempt delays.
+    pub backoff_factor: u32,
+    /// Treap seed for the rebuilt index.
+    pub seed: u64,
+    /// Micro-batch size for the recovery replay.
+    pub replay_batch: usize,
+    /// Clean flushes before `Degraded` clears back to `Healthy`.
+    pub healthy_after: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_attempts: 3,
+            backoff_base_ns: 1_000_000, // 1 ms
+            backoff_factor: 2,
+            seed: 0xC0DE,
+            replay_batch: 256,
+            healthy_after: 2,
+        }
+    }
+}
+
 /// Service tunables.
 #[derive(Debug, Clone)]
 pub struct IngestConfig {
@@ -165,6 +299,11 @@ pub struct IngestConfig {
     /// constructors ([`IngestService::spawn_planned`] and the recovery
     /// path).
     pub planner: PlannerConfig,
+    /// Self-healing: rebuild a panicked engine through `recover()`
+    /// (requires durability). `None` still catches the panic — the
+    /// writer parks in [`ServiceHealth::Failed`] and keeps serving
+    /// reads instead of dying.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl Default for IngestConfig {
@@ -177,6 +316,7 @@ impl Default for IngestConfig {
             clock: ClockMode::Wall,
             durability: None,
             planner: PlannerConfig::default(),
+            recovery: None,
         }
     }
 }
@@ -214,6 +354,36 @@ impl IngestConfig {
     pub fn durable(mut self, d: DurabilityConfig) -> Self {
         self.durability = Some(d);
         self
+    }
+
+    /// Enables supervised self-healing under `policy`.
+    pub fn self_healing(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+}
+
+/// Bounded exponential backoff for [`IngestService::submit_with_retry`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryBudget {
+    /// Retries after the initial attempt (total tries = `attempts + 1`).
+    pub attempts: u32,
+    /// Delay before the first retry, nanoseconds.
+    pub base_delay_ns: u64,
+    /// Multiplier between consecutive delays.
+    pub factor: u32,
+    /// Per-wait ceiling, nanoseconds.
+    pub max_delay_ns: u64,
+}
+
+impl Default for RetryBudget {
+    fn default() -> Self {
+        RetryBudget {
+            attempts: 8,
+            base_delay_ns: 100_000, // 100 µs
+            factor: 2,
+            max_delay_ns: 10_000_000, // 10 ms
+        }
     }
 }
 
@@ -254,11 +424,36 @@ pub struct IngestReport {
     /// Mirror syncs that fell back to the chunk-compare path (`O(n)`
     /// compare, still `O(changed)` copy).
     pub full_syncs: u64,
+    /// Engine panics caught by the supervisor.
+    pub engine_panics: u64,
+    /// Successful `recover()` rebuilds after an engine panic.
+    pub recoveries: u64,
+    /// `recover()` attempts that failed and were retried under backoff.
+    pub recovery_retries: u64,
+    /// Incidents that exhausted recovery and parked the writer in
+    /// [`ServiceHealth::Failed`].
+    pub recovery_failures: u64,
+    /// Journal ship rounds (append or fsync) that failed and were
+    /// retried on later flushes.
+    pub journal_ship_failures: u64,
+    /// Index-snapshot persists that failed (non-fatal: the journal
+    /// still carries everything, recovery just replays more).
+    pub checkpoint_failures: u64,
+    /// Events lost to an engine panic or dropped while
+    /// `Recovering`/`Failed`.
+    pub events_lost: u64,
+    /// Health at shutdown.
+    pub final_health: ServiceHealth,
 }
 
 /// Retained per-flush latency samples (ring of the most recent; sample
 /// order within the vector is immaterial for percentiles).
 pub const LATENCY_SAMPLE_CAP: usize = 4096;
+
+/// While `Recovering`, buffered events are capped at this multiple of
+/// `max(queue_capacity, max_batch)`; overflow is dropped and counted in
+/// [`IngestReport::events_lost`].
+const RECOVERING_BUFFER_FACTOR: usize = 4;
 
 enum Msg {
     Event(GraphEvent),
@@ -277,6 +472,7 @@ enum Msg {
 pub struct IngestService<M: IngestEngine = PlannedCore> {
     tx: SyncSender<Msg>,
     snapshots: SnapshotHandle,
+    health: Arc<AtomicU8>,
     writer: Option<JoinHandle<(IngestReport, Journaled<M>)>>,
 }
 
@@ -303,8 +499,12 @@ impl<M: IngestEngine> IngestService<M> {
         // synchronously instead of poisoning the writer.
         let sink = match &cfg.durability {
             Some(d) => {
-                let sink =
-                    JournalSink::open(&d.journal_path, engine.graph_ref().num_vertices(), d.fsync)?;
+                let sink = JournalSink::open(
+                    &d.journal_path,
+                    engine.graph_ref().num_vertices(),
+                    d.fsync,
+                    &d.storage,
+                )?;
                 // Seqs appended by this service continue at `start_seq`;
                 // the file must hold exactly that many records or the
                 // gap-free invariant breaks. The dangerous misuse this
@@ -339,7 +539,7 @@ impl<M: IngestEngine> IngestService<M> {
             if !d.snapshot_path.exists() {
                 let mut payload = Vec::new();
                 engine.persist_index(&mut payload)?;
-                write_snapshot_payload(&d.snapshot_path, start_seq, &payload)?;
+                persist_index_snapshot(d, start_seq, &payload)?;
             }
         }
         // Core-change tracking feeds the copy-on-write snapshot mirror
@@ -349,6 +549,7 @@ impl<M: IngestEngine> IngestService<M> {
         let mirror = CoreMirror::from_slice(engine.core_slice());
         let journaled = Journaled::with_start_seq(engine, start_seq);
         let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
+        let health = Arc::new(AtomicU8::new(ServiceHealth::Healthy as u8));
         let writer = Writer {
             engine: journaled,
             cfg,
@@ -366,6 +567,13 @@ impl<M: IngestEngine> IngestService<M> {
             mirror,
             tracking,
             change_buf: Vec::new(),
+            health: health.clone(),
+            unshipped: Vec::new(),
+            ship_failures: 0,
+            sync_pending: false,
+            recovery_attempts: 0,
+            recovery_due_ns: 0,
+            degraded_flushes_left: 0,
             report: IngestReport::default(),
         };
         let snapshots = SnapshotHandle::new(writer.compose_snapshot());
@@ -377,6 +585,7 @@ impl<M: IngestEngine> IngestService<M> {
         Ok(IngestService {
             tx,
             snapshots,
+            health,
             writer: Some(thread),
         })
     }
@@ -411,6 +620,48 @@ impl<M: IngestEngine> IngestService<M> {
         Ok(sent)
     }
 
+    /// Bounded-backoff submission: retries [`IngestError::QueueFull`]
+    /// up to `budget.attempts` times with exponential delays (real
+    /// `thread::sleep`s — see [`IngestService::submit_with_retry_by`]
+    /// for the injectable-wait form the scripted tests use). Returns
+    /// the number of retries spent.
+    pub fn submit_with_retry(
+        &self,
+        event: GraphEvent,
+        budget: RetryBudget,
+    ) -> Result<u32, IngestError> {
+        self.submit_with_retry_by(event, budget, |ns| {
+            std::thread::sleep(Duration::from_nanos(ns))
+        })
+    }
+
+    /// [`IngestService::submit_with_retry`] with the wait injected:
+    /// `wait(delay_ns)` is called before each retry. Tests pass a
+    /// recording closure (and release backpressure from inside it), so
+    /// the backoff schedule is asserted without a single wall-clock
+    /// sleep.
+    pub fn submit_with_retry_by(
+        &self,
+        event: GraphEvent,
+        budget: RetryBudget,
+        mut wait: impl FnMut(u64),
+    ) -> Result<u32, IngestError> {
+        let mut delay = budget.base_delay_ns.min(budget.max_delay_ns);
+        for retry in 0..=budget.attempts {
+            match self.try_submit(event) {
+                Ok(()) => return Ok(retry),
+                Err(IngestError::QueueFull) if retry < budget.attempts => {
+                    wait(delay);
+                    delay = delay
+                        .saturating_mul(budget.factor.max(1) as u64)
+                        .min(budget.max_delay_ns);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(IngestError::QueueFull)
+    }
+
     /// Advances the scripted clock (monotone ns). In wall mode ticks are
     /// accepted but ignored for deadlines (real time governs).
     pub fn tick(&self, now_ns: u64) -> Result<(), IngestError> {
@@ -421,7 +672,9 @@ impl<M: IngestEngine> IngestService<M> {
 
     /// Flush barrier: forces the pending micro-batch through, publishes,
     /// and returns the resulting snapshot (which covers every event
-    /// submitted before this call).
+    /// submitted before this call). While `Recovering`/`Failed` the
+    /// barrier still acks — with the last published epoch — so callers
+    /// cannot deadlock on a down writer.
     pub fn flush(&self) -> Result<Arc<CoreSnapshot>, IngestError> {
         let (ack_tx, ack_rx) = mpsc::channel();
         self.tx
@@ -433,6 +686,12 @@ impl<M: IngestEngine> IngestService<M> {
     /// The snapshot slot readers load from (clone per reader thread).
     pub fn snapshots(&self) -> SnapshotHandle {
         self.snapshots.clone()
+    }
+
+    /// The writer's current health. Reads are lock-free; the state is
+    /// advisory (it can advance the instant after you read it).
+    pub fn health(&self) -> ServiceHealth {
+        ServiceHealth::from_u8(self.health.load(Ordering::Acquire))
     }
 
     /// Subscribes to every future snapshot publication (unbounded
@@ -529,6 +788,22 @@ struct Writer<M: IngestEngine> {
     tracking: bool,
     /// Reused drain buffer (no steady-state allocation per flush).
     change_buf: Vec<VertexId>,
+    /// Shared with [`IngestService::health`].
+    health: Arc<AtomicU8>,
+    /// Journal entries whose append failed — retried on later flushes
+    /// (the engine applied them; only the ship is outstanding).
+    unshipped: Vec<kcore_maint::journal::JournalEntry>,
+    /// Consecutive failed ship rounds (append or fsync); escalates to
+    /// `Failed` at the recovery policy's `max_attempts`.
+    ship_failures: u32,
+    /// Journal data appended but its configured fsync still owed.
+    sync_pending: bool,
+    /// `recover()` attempts in the current incident.
+    recovery_attempts: u32,
+    /// Writer-clock time the next recovery attempt is due.
+    recovery_due_ns: u64,
+    /// Clean flushes left before `Degraded` clears to `Healthy`.
+    degraded_flushes_left: u32,
     report: IngestReport,
 }
 
@@ -538,6 +813,40 @@ impl<M: IngestEngine> Writer<M> {
             ClockMode::Wall => self.origin.elapsed().as_nanos() as u64,
             ClockMode::Scripted => self.now_ns,
         }
+    }
+
+    fn health(&self) -> ServiceHealth {
+        ServiceHealth::from_u8(self.health.load(Ordering::Acquire))
+    }
+
+    fn set_health(&self, h: ServiceHealth) {
+        self.health.store(h as u8, Ordering::Release);
+    }
+
+    /// `Healthy → Degraded` (never downgrades `Recovering`/`Failed`).
+    fn degrade(&mut self) {
+        if self.health() == ServiceHealth::Healthy {
+            self.set_health(ServiceHealth::Degraded);
+            self.degraded_flushes_left = self.healthy_after();
+        }
+    }
+
+    fn healthy_after(&self) -> u32 {
+        self.cfg
+            .recovery
+            .as_ref()
+            .map(|p| p.healthy_after)
+            .unwrap_or(2)
+            .max(1)
+    }
+
+    fn max_io_retries(&self) -> u32 {
+        self.cfg
+            .recovery
+            .as_ref()
+            .map(|p| p.max_attempts)
+            .unwrap_or(3)
+            .max(1)
     }
 
     /// Cuts a snapshot from the mirror: O(chunks) `Arc` clones for the
@@ -597,36 +906,201 @@ impl<M: IngestEngine> Writer<M> {
         self.report.epochs_published += 1;
     }
 
-    /// Applies the pending micro-batch, ships the journal tail, and
-    /// publishes per the cadence. The engine's batch entry points see
-    /// maximal same-kind runs (a micro-batch is at most `max_batch`
-    /// events, so `replay_batched` groups each run into one call).
+    /// Ships everything owed to the journal: queued-from-failure entries
+    /// first, then a configured-but-failed fsync. Returns whether the
+    /// journal is fully caught up. Failures degrade (entries stay
+    /// queued) and escalate to `Failed` after `max_attempts` consecutive
+    /// bad rounds — the engine state is fine, but accepting new events
+    /// against a journal that stopped growing would turn the next crash
+    /// into silent data loss.
+    fn ship_owed(&mut self) -> bool {
+        let Some(sink) = &mut self.sink else {
+            // In-memory mode: entries are dropped by design.
+            self.report.entries_shipped += self.unshipped.len() as u64;
+            self.unshipped.clear();
+            self.sync_pending = false;
+            return true;
+        };
+        if !self.unshipped.is_empty() {
+            match sink.append(&self.unshipped) {
+                Ok(()) => {
+                    self.report.entries_shipped += self.unshipped.len() as u64;
+                    self.unshipped.clear();
+                    self.sync_pending = false;
+                }
+                Err(_) => {
+                    self.report.journal_ship_failures += 1;
+                    self.ship_failures += 1;
+                    if self.ship_failures >= self.max_io_retries() {
+                        self.set_health(ServiceHealth::Failed);
+                    } else {
+                        self.degrade();
+                    }
+                    return false;
+                }
+            }
+        }
+        if self.sync_pending {
+            match sink.sync() {
+                Ok(()) => self.sync_pending = false,
+                Err(_) => {
+                    self.report.journal_ship_failures += 1;
+                    self.ship_failures += 1;
+                    if self.ship_failures >= self.max_io_retries() {
+                        self.set_health(ServiceHealth::Failed);
+                    } else {
+                        self.degrade();
+                    }
+                    return false;
+                }
+            }
+        }
+        self.ship_failures = 0;
+        true
+    }
+
+    /// The engine panicked mid-batch: contain it. The batch (applied or
+    /// not, it never reached the journal) is lost; the supervisor either
+    /// schedules a `recover()` rebuild or parks in `Failed`.
+    fn on_engine_panic(&mut self, lost: u64) {
+        self.report.engine_panics += 1;
+        self.report.events_lost += lost;
+        // Entries recorded against the poisoned engine must never ship.
+        let _ = self.engine.drain();
+        if self.cfg.recovery.is_some() && self.cfg.durability.is_some() {
+            self.set_health(ServiceHealth::Recovering);
+            self.recovery_attempts = 0;
+            self.recovery_due_ns = self.now(); // first attempt immediate
+        } else {
+            self.set_health(ServiceHealth::Failed);
+        }
+    }
+
+    /// One supervised `recover()` attempt. On success the rebuilt engine
+    /// is adopted, the recorder/cursors/mirror re-based, the sink
+    /// re-opened over the repaired journal, and a fresh (monotone) epoch
+    /// published; the service comes back `Degraded` until clean flushes
+    /// clear it. On failure the next attempt is scheduled under
+    /// exponential backoff until the policy's budget is spent.
+    fn try_recover(&mut self, handle: &SnapshotHandle) {
+        let (Some(pol), Some(d)) = (self.cfg.recovery.clone(), self.cfg.durability.clone()) else {
+            self.set_health(ServiceHealth::Failed);
+            return;
+        };
+        self.recovery_attempts += 1;
+        match recover(&d, pol.seed, self.cfg.planner.clone(), pol.replay_batch) {
+            Ok(rec) => {
+                let next = rec.next_seq;
+                if !self.engine.engine_mut().adopt_recovered(rec) {
+                    self.report.recovery_failures += 1;
+                    self.set_health(ServiceHealth::Failed);
+                    return;
+                }
+                self.engine.resync(next);
+                self.ops = next;
+                self.ship_cursor = next;
+                self.unshipped.clear();
+                self.sync_pending = false;
+                self.ship_failures = 0;
+                self.batches_since_persist = 0;
+                // The journal was repaired by recover(); a fresh sink
+                // must agree with the recovered seq or something is
+                // still wrong on disk.
+                let n = self.engine.engine().graph_ref().num_vertices();
+                match JournalSink::open(&d.journal_path, n, d.fsync, &d.storage) {
+                    Ok(sink) if sink.existing() == next => self.sink = Some(sink),
+                    _ => {
+                        self.report.recovery_failures += 1;
+                        self.set_health(ServiceHealth::Failed);
+                        return;
+                    }
+                }
+                // Re-arm tracking and the mirror on the rebuilt engine.
+                self.tracking = self.engine.engine_mut().enable_core_change_tracking();
+                self.change_buf.clear();
+                let _ = self
+                    .engine
+                    .engine_mut()
+                    .drain_core_changes(&mut self.change_buf);
+                self.change_buf.clear();
+                if n > self.mirror.len() {
+                    self.mirror.grow(n);
+                }
+                let (_, copied) = self.mirror.sync_full(self.engine.engine().core_slice());
+                self.report.chunks_copied += copied as u64;
+                self.report.full_syncs += 1;
+                self.publish(handle);
+                self.report.recoveries += 1;
+                self.degraded_flushes_left = pol.healthy_after.max(1);
+                self.set_health(ServiceHealth::Degraded);
+            }
+            Err(_) if self.recovery_attempts < pol.max_attempts => {
+                self.report.recovery_retries += 1;
+                let delay = pol.backoff_base_ns.saturating_mul(
+                    (pol.backoff_factor.max(1) as u64)
+                        .saturating_pow(self.recovery_attempts.saturating_sub(1)),
+                );
+                self.recovery_due_ns = self.now().saturating_add(delay.max(1));
+            }
+            Err(_) => {
+                self.report.recovery_failures += 1;
+                self.set_health(ServiceHealth::Failed);
+            }
+        }
+    }
+
+    /// Applies the pending micro-batch under `catch_unwind`, ships the
+    /// journal tail, and publishes per the cadence. The engine's batch
+    /// entry points see maximal same-kind runs (a micro-batch is at most
+    /// `max_batch` events, so `replay_batched` groups each run into one
+    /// call).
     fn flush(&mut self, handle: &SnapshotHandle) {
+        match self.health() {
+            ServiceHealth::Recovering | ServiceHealth::Failed => return,
+            _ => {}
+        }
+        // Journal debt from earlier failed rounds goes first: entries
+        // must land in seq order, and escalation to `Failed` must stop
+        // new batches from widening the gap.
+        if !self.ship_owed() {
+            return;
+        }
         if self.pending.is_empty() {
             return;
         }
         let t0 = self.now();
-        let stats = replay_batched(
-            &mut self.engine,
-            self.pending.drain(..),
-            self.cfg.max_batch.max(1),
-        );
+        let batch_len = self.pending.len() as u64;
+        let applied = catch_unwind(AssertUnwindSafe(|| {
+            replay_batched(
+                &mut self.engine,
+                self.pending.drain(..),
+                self.cfg.max_batch.max(1),
+            )
+        }));
         self.batch_open_ns = None;
+        let stats = match applied {
+            Ok(stats) => stats,
+            Err(_) => {
+                self.on_engine_panic(batch_len);
+                return;
+            }
+        };
         self.ops = self.engine.next_seq();
         self.report.update_stats.absorb(stats);
         self.report.batches += 1;
 
         // Ship the journal tail (incremental cursor: each entry exactly
         // once). Without a sink the entries are dropped — the recorder
-        // is still what assigns seqs, so `ops` stays exact.
-        let tail = self.engine.drain_since(self.ship_cursor);
+        // is still what assigns seqs, so `ops` stays exact. A failed
+        // append keeps the entries queued for the next round instead of
+        // killing the writer.
+        let mut tail = self.engine.drain_since(self.ship_cursor);
         self.ship_cursor = self.engine.next_seq();
-        if let Some(sink) = &mut self.sink {
-            // Fail-stop on durability errors: a journal that silently
-            // stops growing would turn recovery into data loss.
-            sink.append(&tail).expect("journal append failed");
+        self.unshipped.append(&mut tail);
+        if self.sink.is_some() && self.cfg.durability.as_ref().is_some_and(|d| d.fsync) {
+            self.sync_pending = true;
         }
-        self.report.entries_shipped += tail.len() as u64;
+        let shipped = self.ship_owed();
         let apply_ns = self.now().saturating_sub(t0);
         if self.report.batch_apply_ns.len() < LATENCY_SAMPLE_CAP {
             self.report.batch_apply_ns.push(apply_ns);
@@ -661,31 +1135,41 @@ impl<M: IngestEngine> Writer<M> {
             if d.snapshot_every_batches > 0
                 && self.batches_since_persist >= d.snapshot_every_batches
             {
-                self.persist(false);
+                self.persist();
+            }
+        }
+        // A fully clean flush works a degraded service back to healthy.
+        if shipped && self.health() == ServiceHealth::Degraded {
+            self.degraded_flushes_left = self.degraded_flushes_left.saturating_sub(1);
+            if self.degraded_flushes_left == 0 {
+                self.set_health(ServiceHealth::Healthy);
             }
         }
     }
 
-    /// Persists the index snapshot (final = graceful-shutdown variant,
-    /// which tolerates engines without a persistent form only when no
-    /// durability was requested — unreachable here since `cfg.durability`
-    /// gates the call).
-    fn persist(&mut self, _final_snapshot: bool) {
-        let d = self.cfg.durability.as_ref().expect("durability configured");
+    /// Persists the index snapshot into the rotation. Failures are
+    /// contained: the journal still carries every event, so a missed
+    /// checkpoint only makes a future recovery replay more — the
+    /// service degrades instead of dying.
+    fn persist(&mut self) {
+        let Some(d) = self.cfg.durability.clone() else {
+            return;
+        };
         let ops = self.ops;
-        // Route through the engine's own persistence hook first so the
-        // trait stays the single seam; the planner engine writes the
-        // `OrderCore::save` payload, which `save_index_snapshot` wraps
-        // in the ops header.
-        let snapshot_path = d.snapshot_path.clone();
-        let engine = self.engine.engine_mut();
         let mut payload: Vec<u8> = Vec::new();
-        engine
+        let result = self
+            .engine
+            .engine_mut()
             .persist_index(&mut payload)
-            .expect("engine cannot persist an index (durability requires one)");
-        write_snapshot_payload(&snapshot_path, ops, &payload).expect("snapshot write failed");
+            .and_then(|_| persist_index_snapshot(&d, ops, &payload));
         self.batches_since_persist = 0;
-        self.report.snapshots_persisted += 1;
+        match result {
+            Ok(()) => self.report.snapshots_persisted += 1,
+            Err(_) => {
+                self.report.checkpoint_failures += 1;
+                self.degrade();
+            }
+        }
     }
 
     fn deadline(&self) -> Option<u64> {
@@ -695,24 +1179,45 @@ impl<M: IngestEngine> Writer<M> {
         }
     }
 
+    fn recovering_buffer_cap(&self) -> usize {
+        self.cfg.queue_capacity.max(self.cfg.max_batch).max(1) * RECOVERING_BUFFER_FACTOR
+    }
+
     fn run(mut self, rx: Receiver<Msg>, handle: SnapshotHandle) -> (IngestReport, Journaled<M>) {
         loop {
-            // Wall mode parks until the flush deadline of the oldest
-            // buffered event; scripted mode blocks indefinitely (time
-            // only moves via Tick messages).
-            let msg = match (self.cfg.clock, self.deadline()) {
+            // Deadline-driven work first: a due recovery attempt, or an
+            // interval flush of the oldest buffered event.
+            if self.health() == ServiceHealth::Recovering {
+                if self.now() >= self.recovery_due_ns {
+                    self.try_recover(&handle);
+                    if self.health() != ServiceHealth::Recovering
+                        && self.pending.len() >= self.cfg.max_batch.max(1)
+                    {
+                        // Events buffered through the outage flush as
+                        // soon as the engine is back.
+                        self.flush(&handle);
+                    }
+                }
+            } else if let Some(deadline) = self.deadline() {
+                if self.now() >= deadline {
+                    self.flush(&handle);
+                }
+            }
+            // Wall mode parks until the nearest deadline (flush interval
+            // or recovery backoff); scripted mode blocks indefinitely
+            // (time only moves via Tick messages).
+            let wake = if self.health() == ServiceHealth::Recovering {
+                Some(self.recovery_due_ns)
+            } else {
+                self.deadline()
+            };
+            let msg = match (self.cfg.clock, wake) {
                 (ClockMode::Wall, Some(deadline)) => {
                     let now = self.now();
-                    if now >= deadline {
-                        self.flush(&handle);
-                        continue;
-                    }
-                    match rx.recv_timeout(Duration::from_nanos(deadline - now)) {
+                    let wait = Duration::from_nanos(deadline.saturating_sub(now).max(1));
+                    match rx.recv_timeout(wait) {
                         Ok(m) => m,
-                        Err(mpsc::RecvTimeoutError::Timeout) => {
-                            self.flush(&handle);
-                            continue;
-                        }
+                        Err(mpsc::RecvTimeoutError::Timeout) => continue,
                         Err(mpsc::RecvTimeoutError::Disconnected) => break,
                     }
                 }
@@ -723,24 +1228,44 @@ impl<M: IngestEngine> Writer<M> {
             };
             match msg {
                 Msg::Event(e) => {
-                    if self.pending.is_empty() {
-                        self.batch_open_ns = Some(self.now());
-                    }
-                    self.pending.push(e);
                     self.report.events += 1;
-                    if self.pending.len() >= self.cfg.max_batch.max(1) {
-                        self.flush(&handle);
-                    }
-                }
-                Msg::Tick(t) => {
-                    self.now_ns = self.now_ns.max(t);
-                    if let Some(deadline) = self.deadline() {
-                        if self.now() >= deadline {
-                            self.flush(&handle);
+                    match self.health() {
+                        ServiceHealth::Failed => {
+                            self.report.events_lost += 1;
+                        }
+                        ServiceHealth::Recovering => {
+                            // Buffer through the outage (bounded).
+                            if self.pending.len() >= self.recovering_buffer_cap() {
+                                self.report.events_lost += 1;
+                            } else {
+                                if self.pending.is_empty() {
+                                    self.batch_open_ns = Some(self.now());
+                                }
+                                self.pending.push(e);
+                            }
+                        }
+                        _ => {
+                            if self.pending.is_empty() {
+                                self.batch_open_ns = Some(self.now());
+                            }
+                            self.pending.push(e);
+                            if self.pending.len() >= self.cfg.max_batch.max(1) {
+                                self.flush(&handle);
+                            }
                         }
                     }
                 }
+                Msg::Tick(t) => {
+                    // Deadlines (flush interval, recovery backoff) are
+                    // re-checked at the top of the loop.
+                    self.now_ns = self.now_ns.max(t);
+                }
                 Msg::Flush(ack) => {
+                    if self.health() == ServiceHealth::Recovering
+                        && self.now() >= self.recovery_due_ns
+                    {
+                        self.try_recover(&handle);
+                    }
                     self.flush(&handle);
                     if self.published_ops != self.ops {
                         self.publish(&handle);
@@ -758,31 +1283,45 @@ impl<M: IngestEngine> Writer<M> {
                         // Crash simulation: pending events and the final
                         // persist are lost, shipped journal survives.
                         self.report.mirror_chunks = self.mirror.num_chunks() as u64;
+                        self.report.final_health = self.health();
                         return (self.report, self.engine);
                     }
                     break;
                 }
             }
         }
-        // Graceful exit: flush what's buffered, publish the final state,
-        // persist a last snapshot when durability is on.
-        self.flush(&handle);
-        if self.published_ops != self.ops {
-            self.publish(&handle);
+        // Graceful exit: one last recovery attempt if one was in flight
+        // (ignoring backoff — there is no later), then flush what's
+        // buffered, publish the final state, persist a last snapshot
+        // when durability is on. A `Failed` writer skips the flush and
+        // persist: its engine state is not trustworthy, and a checkpoint
+        // of it would poison the recovery ladder's newest rung.
+        if self.health() == ServiceHealth::Recovering {
+            self.try_recover(&handle);
         }
-        if self.cfg.durability.is_some() {
-            self.persist(true);
+        match self.health() {
+            ServiceHealth::Recovering | ServiceHealth::Failed => {
+                self.report.events_lost += self.pending.len() as u64;
+                self.pending.clear();
+                self.set_health(ServiceHealth::Failed);
+            }
+            _ => {
+                self.flush(&handle);
+                if self.published_ops != self.ops {
+                    self.publish(&handle);
+                }
+                if self.cfg.durability.is_some()
+                    && !matches!(
+                        self.health(),
+                        ServiceHealth::Recovering | ServiceHealth::Failed
+                    )
+                {
+                    self.persist();
+                }
+            }
         }
         self.report.mirror_chunks = self.mirror.num_chunks() as u64;
+        self.report.final_health = self.health();
         (self.report, self.engine)
     }
-}
-
-/// Writes the snapshot header + an already-serialised index payload via
-/// the temp-file + rename protocol. The format (magic, version, header)
-/// is owned by [`crate::durability`]; this indirection exists so the
-/// writer persists whatever the [`IngestEngine::persist_index`] hook
-/// produced instead of hard-coding one engine type.
-fn write_snapshot_payload(path: &std::path::Path, ops: u64, payload: &[u8]) -> io::Result<()> {
-    crate::durability::write_snapshot_bytes(path, ops, payload)
 }

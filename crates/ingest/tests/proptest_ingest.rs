@@ -163,4 +163,90 @@ proptest! {
         let (_, engine) = svc.shutdown();
         prop_assert_eq!(engine.cores(), &oracle_cores(&base, &events)[..]);
     }
+
+    /// Corruption safety: flip any single byte of — or truncate at any
+    /// point — either file of a journal + snapshot pair, and recovery
+    /// must never produce a silently wrong state. Every outcome is
+    /// either an explicit error or an engine bit-identical to the
+    /// oracle on exactly the prefix the [`RecoveryReport`] claims
+    /// durable.
+    #[test]
+    fn fault_corruption_recovers_reported_prefix_or_errors(
+        raw in prop::collection::vec((any::<bool>(), 0u32..14, 0u32..14), 4..48),
+        max_batch in 1usize..6,
+        seed in any::<u64>(),
+        target_journal in any::<bool>(),
+        truncate in any::<bool>(),
+        pos in any::<usize>(),
+        mask in 1u8..=255,
+    ) {
+        use kcore_ingest::{recover, DurabilityConfig};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir()
+            .join("kcore_ingest_proptest_corrupt")
+            .join(format!("case_{}", CASE.fetch_add(1, Ordering::Relaxed)));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let events: Vec<GraphEvent> = raw
+            .iter()
+            .map(|&(ins, u, v)| if ins {
+                GraphEvent::EdgeInserted(u, v)
+            } else {
+                GraphEvent::EdgeRemoved(u, v)
+            })
+            .collect();
+        let base = DynamicGraph::with_vertices(14);
+        let d = DurabilityConfig::in_dir(&dir).snapshot_every(2);
+        let svc = IngestService::spawn_planned(
+            base.clone(),
+            seed,
+            IngestConfig::scripted().max_batch(max_batch).durable(d),
+        )
+        .unwrap();
+        for &e in &events {
+            svc.submit(e).unwrap();
+        }
+        svc.flush().unwrap();
+        let (_, clean_engine) = svc.shutdown();
+
+        // Corrupt exactly one file of the pair.
+        let rd = DurabilityConfig::in_dir(&dir);
+        let victim = if target_journal {
+            rd.journal_path.clone()
+        } else {
+            rd.snapshot_path.clone()
+        };
+        let bytes = std::fs::read(&victim).unwrap();
+        prop_assert!(!bytes.is_empty());
+        if truncate {
+            let keep = pos % (bytes.len() + 1);
+            std::fs::write(&victim, &bytes[..keep]).unwrap();
+        } else {
+            let mut b = bytes;
+            let at = pos % b.len();
+            b[at] ^= mask;
+            std::fs::write(&victim, &b).unwrap();
+        }
+
+        // An explicit refusal (`Err`) is always acceptable — the
+        // property forbids only *silently* wrong states.
+        if let Ok(rec) = recover(&rd, seed, kcore_maint::PlannerConfig::default(), 8) {
+            let durable = rec.report.durable_ops as usize;
+            prop_assert!(durable <= events.len());
+            prop_assert_eq!(rec.next_seq, rec.report.durable_ops);
+            prop_assert_eq!(
+                rec.engine.cores(),
+                &oracle_cores(&base, &events[..durable])[..],
+                "rung {} recovered state diverges from the oracle on its own \
+                 reported prefix",
+                rec.report.rung
+            );
+            if durable == events.len() {
+                prop_assert_eq!(rec.engine.cores(), clean_engine.cores());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }
