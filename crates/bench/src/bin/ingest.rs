@@ -692,9 +692,9 @@ fn main() {
     }
     std::fs::remove_dir_all(&ladder_src).ok();
 
-    // ---- CRC append overhead: v2 checksummed frames vs plain v1 ----
-    // The per-event CPU price of the per-record CRC32 + frame marker on
-    // the journal's hot append path, measured on the encode alone (no
+    // ---- CRC append overhead: v3 delta frames vs plain v1 ----
+    // The per-event CPU price of the frame CRC32 + zigzag-LEB128 delta
+    // encode on the journal's hot append path, measured alone (no
     // I/O, no fsync — those dominate real appends and would bury the
     // signal being gated).
     let crc_entries: Vec<kcore_maint::journal::JournalEntry> = (0..512u64)
@@ -719,16 +719,23 @@ fn main() {
     for _ in 0..CRC_REPS {
         std::hint::black_box(encode_frame(std::hint::black_box(&crc_entries)));
     }
-    let v2_ns_per_event =
+    let v3_ns_per_event =
         t0.elapsed().as_nanos() as f64 / (CRC_REPS as f64 * crc_entries.len() as f64);
     let append_overhead_ratio = if v1_ns_per_event > 0.0 {
-        v2_ns_per_event / v1_ns_per_event
+        v3_ns_per_event / v1_ns_per_event
     } else {
         1.0
     };
+    // Byte size of the v3 delta frames against the plain absolute v1
+    // layout, on the same entry mix — the compression the LEB128 vertex
+    // deltas buy on the wire.
+    let v1_bytes_per_event = encode_plain_v1(&crc_entries).len() as f64 / crc_entries.len() as f64;
+    let v3_bytes_per_event = encode_frame(&crc_entries).len() as f64 / crc_entries.len() as f64;
+    let bytes_ratio = v3_bytes_per_event / v1_bytes_per_event;
     println!(
-        "crc append overhead: v1 {v1_ns_per_event:.1}ns/event, v2 {v2_ns_per_event:.1}ns/event \
-         = {append_overhead_ratio:.2}x"
+        "journal encode: v1 {v1_ns_per_event:.1}ns/event, v3 {v3_ns_per_event:.1}ns/event \
+         = {append_overhead_ratio:.2}x; bytes/event v1 {v1_bytes_per_event:.1} \
+         v3 {v3_bytes_per_event:.1} = {bytes_ratio:.2}x"
     );
 
     // ---- publish-cost scaling: fixed change volume, growing |V| ----
@@ -839,8 +846,11 @@ fn main() {
     }
     json.push_str(&format!(
         "    ],\n    \"crc_append\": {{ \"v1_ns_per_event\": {v1_ns_per_event:.2}, \
-         \"v2_ns_per_event\": {v2_ns_per_event:.2}, \
-         \"overhead_ratio\": {append_overhead_ratio:.3} }},\n    \
+         \"v3_ns_per_event\": {v3_ns_per_event:.2}, \
+         \"overhead_ratio\": {append_overhead_ratio:.3}, \
+         \"v1_bytes_per_event\": {v1_bytes_per_event:.2}, \
+         \"v3_bytes_per_event\": {v3_bytes_per_event:.2}, \
+         \"bytes_ratio\": {bytes_ratio:.3} }},\n    \
          \"max_append_overhead_ratio\": {:.2},\n    \
          \"append_gate\": \"{append_gate_status}\"\n  }},\n",
         args.max_append_overhead_ratio
@@ -909,7 +919,7 @@ fn main() {
     }
     if append_gate_status == "enforced" && append_overhead_ratio > args.max_append_overhead_ratio {
         eprintln!(
-            "GATE FAILED: v2 checksummed append costs {append_overhead_ratio:.2}x the plain v1 \
+            "GATE FAILED: v3 checksummed append costs {append_overhead_ratio:.2}x the plain v1 \
              encode (allowed {:.2}x)",
             args.max_append_overhead_ratio
         );

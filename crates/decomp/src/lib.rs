@@ -22,6 +22,7 @@ pub mod bucket;
 pub mod korder;
 pub mod par;
 pub mod regions;
+pub mod team;
 pub mod validate;
 
 pub use bucket::{core_decomposition, core_decomposition_csr, max_core};

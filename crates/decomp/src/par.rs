@@ -28,9 +28,10 @@
 //! the `par` bench binary before it reports a single number.
 //!
 //! Work is distributed by [`run_ranges`]/[`run_chunks`], a minimal
-//! fork-join worker team over `std::thread::scope` (the container is
-//! offline; no rayon): callers hand a [`Parallelism`] config and small
-//! inputs never leave the calling thread (`sequential_cutoff`).
+//! fork-join layer over the long-lived [`crate::team`] worker pool (the
+//! container is offline; no rayon): callers hand a [`Parallelism`]
+//! config and small inputs never leave the calling thread
+//! (`sequential_cutoff`).
 
 use kcore_graph::{AtomicDegrees, CsrGraph, DynamicGraph, MappedCsr, VertexId};
 use std::ops::Range;
@@ -169,9 +170,13 @@ impl<B: AsRef<[u8]> + Sync> PeelGraph for MappedCsr<B> {
 }
 
 /// Runs `f(thread_index, range)` over `threads` contiguous sub-ranges of
-/// `0..len` inside one `std::thread::scope`, returning the per-thread
-/// results in range order. Falls back to a single inline call when `len`
-/// is below `cutoff` or one worker is requested.
+/// `0..len` on the shared [`crate::team`] worker pool, returning the
+/// per-thread results in range order. Falls back to a single inline call
+/// when `len` is below `cutoff` or one worker is requested. The range
+/// partition is identical to the PR-3 scoped-spawn version, so every
+/// caller's work distribution — and therefore every bit-identical
+/// equivalence guarantee — is unchanged; only the dispatch mechanism
+/// (parked long-lived workers instead of per-call spawns) differs.
 pub fn run_ranges<R, F>(threads: usize, len: usize, cutoff: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -182,22 +187,22 @@ where
     }
     let workers = threads.min(len);
     let chunk = len.div_ceil(workers);
-    std::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(workers.saturating_sub(1));
-        for t in 1..workers {
-            let lo = (t * chunk).min(len);
-            let hi = ((t + 1) * chunk).min(len);
-            let f = &f;
-            handles.push(s.spawn(move || f(t, lo..hi)));
-        }
-        let first = f(0, 0..chunk.min(len));
-        let mut out = Vec::with_capacity(workers);
-        out.push(first);
-        for h in handles {
-            out.push(h.join().expect("peel worker panicked"));
-        }
-        out
-    })
+    let slots: Vec<std::sync::Mutex<Option<R>>> =
+        (0..workers).map(|_| std::sync::Mutex::new(None)).collect();
+    let task = |t: usize| {
+        let lo = (t * chunk).min(len);
+        let hi = ((t + 1) * chunk).min(len);
+        *slots[t].lock().unwrap() = Some(f(t, lo..hi));
+    };
+    crate::team::run(workers, &task);
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("team task skipped a range")
+        })
+        .collect()
 }
 
 /// [`run_ranges`] specialised to slicing an item list: `f(thread_index,

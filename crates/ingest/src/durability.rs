@@ -15,23 +15,33 @@
 //!
 //! ## File formats (little-endian)
 //!
-//! Journal **v2** (written): header
-//! `"KJRN" u32 | version=2 u32 | n u32 | base u64 | header_crc u32`
+//! Journal **v3** (written): header
+//! `"KJRN" u32 | version=3 u32 | n u32 | base u64 | header_crc u32`
 //! (24 bytes; `base` is the seq of the first record, non-zero after a
 //! snapshot-only recovery reset; `header_crc` covers the first 20
-//! bytes). The body is a sequence of **frames**, one per shipped batch:
-//! `"FRAM" u32 | count u32`, then `count` records of
-//! `seq u64 | kind u8 (0 insert / 1 remove) | u u32 | v u32 | crc u32`
-//! — 21 bytes each, the trailing CRC covering the record's first 17.
-//! The reader validates frame-by-frame: any corruption (bad marker, bad
-//! record CRC, broken seq continuity, torn frame) ends the readable
-//! prefix at the last fully-valid frame instead of silently replaying
-//! garbage.
+//! bytes). The body is a sequence of **delta-encoded frames**, one per
+//! shipped batch:
+//! `"FRAM" u32 | count u32 | first_seq u64 | payload_len u32 | crc u32`
+//! then `payload_len` payload bytes holding `count` records of
+//! `kind u8 (0 insert / 1 remove) | zigzag-LEB128(u − prev_u) |
+//! zigzag-LEB128(v − u)` — seqs are implicit (`first_seq + i`, the
+//! journal is gap-free by construction) and vertex ids are stored as
+//! signed deltas, so a typical record is 3–6 bytes instead of v2's 21.
+//! The frame CRC covers everything after the marker (count, first_seq,
+//! payload_len, payload). The reader validates frame-by-frame: any
+//! corruption (bad marker, bad CRC, broken seq continuity, torn frame)
+//! ends the readable prefix at the last fully-valid frame instead of
+//! silently replaying garbage.
+//!
+//! Journal **v2** (still read): same 24-byte header with `version=2`;
+//! frames are `"FRAM" u32 | count u32` followed by `count` absolute
+//! 21-byte records (`seq u64 | kind u8 | u u32 | v u32 | crc u32`, the
+//! trailing CRC covering the record's first 17 bytes).
 //!
 //! Journal **v1** (still read): 12-byte header without `base`/CRC and
 //! bare 17-byte records with no frames — only a torn *tail* is
-//! detectable. [`JournalSink::open`] transparently upgrades a v1 file to
-//! v2 (atomic rewrite) before appending.
+//! detectable. [`JournalSink::open`] transparently upgrades a v1 or v2
+//! file to v3 (atomic rewrite) before appending.
 //!
 //! Snapshot **v2** (written): `"KSNP" u32 | version=2 u32 | ops u64 |
 //! crc u32` then the checksummed [`OrderCore::save`] payload; the CRC
@@ -55,6 +65,7 @@ const SNAPSHOT_MAGIC: u32 = 0x4B53_4E50; // "KSNP"
 const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"FRAM");
 const VERSION_1: u32 = 1;
 const VERSION_2: u32 = 2;
+const VERSION_3: u32 = 3;
 /// v1 record: `seq u64 | kind u8 | u u32 | v u32`.
 const RECORD_BYTES: usize = 8 + 1 + 4 + 4;
 /// v2 record: v1 record + trailing CRC32.
@@ -62,6 +73,8 @@ const RECORD_V2_BYTES: usize = RECORD_BYTES + 4;
 const HEADER_V1_BYTES: usize = 12;
 const HEADER_V2_BYTES: usize = 24;
 const FRAME_HEADER_BYTES: usize = 8;
+/// v3 frame header: marker, count, first_seq, payload_len, crc.
+const FRAME_V3_HEADER_BYTES: usize = 4 + 4 + 8 + 4 + 4;
 const SNAP_HEADER_V1_BYTES: usize = 16;
 const SNAP_HEADER_V2_BYTES: usize = 20;
 
@@ -234,7 +247,9 @@ impl From<io::Error> for RecoverError {
 
 // ------------------------------------------------------ journal: write
 
-/// Encodes one v1-layout record (no CRC) into `out`.
+/// Encodes one v1-layout record (no CRC) into `out` — only the
+/// compatibility fixtures write this layout now.
+#[cfg(test)]
 fn encode_record(out: &mut Vec<u8>, seq: u64, event: GraphEvent) {
     let (kind, u, v) = match event {
         GraphEvent::EdgeInserted(u, v) => (0u8, u, v),
@@ -246,26 +261,83 @@ fn encode_record(out: &mut Vec<u8>, seq: u64, event: GraphEvent) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-/// Encodes one shipped batch as a v2 frame: marker, count, then each
-/// record followed by its CRC-32. Public so the bench can measure the
-/// checksum overhead against a plain encoding.
+/// Zigzag-maps a signed delta into the unsigned LEB128 domain.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_leb128(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let b = (x & 0x7F) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn get_leb128(bytes: &[u8], at: &mut usize) -> Option<u64> {
+    let mut x = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes.get(*at)?;
+        *at += 1;
+        if shift == 63 && b > 1 {
+            return None; // > 64 bits: not a value we ever wrote
+        }
+        x |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Some(x);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Encodes one shipped batch as a v3 delta frame: marker, count,
+/// first_seq, payload length, frame CRC, then the zigzag-LEB128 delta
+/// payload. Entries must carry contiguous seqs (the journal is gap-free
+/// by construction — seqs are stored once, as `first_seq`). Public so
+/// the bench can measure the encoding cost and byte size.
 pub fn encode_frame(entries: &[JournalEntry]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + entries.len() * RECORD_V2_BYTES);
+    debug_assert!(entries.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+    let mut payload = Vec::with_capacity(entries.len() * 6);
+    let mut prev_u = 0u32;
+    for e in entries {
+        let (kind, u, v) = match e.event {
+            GraphEvent::EdgeInserted(u, v) => (0u8, u, v),
+            GraphEvent::EdgeRemoved(u, v) => (1u8, u, v),
+        };
+        payload.push(kind);
+        put_leb128(&mut payload, zigzag(i64::from(u) - i64::from(prev_u)));
+        put_leb128(&mut payload, zigzag(i64::from(v) - i64::from(u)));
+        prev_u = u;
+    }
+    let first_seq = entries.first().map_or(0, |e| e.seq);
+    let mut out = Vec::with_capacity(FRAME_V3_HEADER_BYTES + payload.len());
     out.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
     out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
-    for e in entries {
-        let at = out.len();
-        encode_record(&mut out, e.seq, e.event);
-        let crc = crc32(&out[at..at + RECORD_BYTES]);
-        out.extend_from_slice(&crc.to_le_bytes());
-    }
+    out.extend_from_slice(&first_seq.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&out[4..20]).update(&payload);
+    out.extend_from_slice(&crc.finish().to_le_bytes());
+    out.extend_from_slice(&payload);
     out
 }
 
 fn encode_journal_header(n: usize, base: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_V2_BYTES);
     out.extend_from_slice(&JOURNAL_MAGIC.to_le_bytes());
-    out.extend_from_slice(&VERSION_2.to_le_bytes());
+    out.extend_from_slice(&VERSION_3.to_le_bytes());
     out.extend_from_slice(&(n as u32).to_le_bytes());
     out.extend_from_slice(&base.to_le_bytes());
     let crc = crc32(&out[..20]);
@@ -346,10 +418,10 @@ impl JournalSink {
             ));
         }
         let mut intact_len = contents.intact_bytes;
-        if contents.version == VERSION_1 {
-            // Upgrade: re-encode the intact prefix as one v2 frame under
-            // a v2 header, atomically, so this file's future appends are
-            // checksummed too.
+        if contents.version != VERSION_3 {
+            // Upgrade: re-encode the intact prefix as one v3 delta frame
+            // under a v3 header, atomically, so this file's future
+            // appends share one format (and v1 gains checksums).
             let entries: Vec<JournalEntry> = contents
                 .events
                 .iter()
@@ -479,6 +551,7 @@ fn parse_journal(bytes: &[u8]) -> Result<JournalContents, RecoverError> {
     match word(4) {
         VERSION_1 => parse_journal_v1(bytes),
         VERSION_2 => parse_journal_v2(bytes),
+        VERSION_3 => parse_journal_v3(bytes),
         _ => Err(RecoverError::BadJournal("unknown journal version")),
     }
 }
@@ -597,6 +670,109 @@ fn parse_journal_v2(bytes: &[u8]) -> Result<JournalContents, RecoverError> {
     Ok(JournalContents {
         n,
         version: VERSION_2,
+        base,
+        events,
+        intact_bytes: intact as u64,
+        damage,
+    })
+}
+
+fn parse_journal_v3(bytes: &[u8]) -> Result<JournalContents, RecoverError> {
+    if bytes.len() < HEADER_V2_BYTES {
+        return Err(RecoverError::BadJournal("shorter than the v3 header"));
+    }
+    let word = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+    if word(20) != crc32(&bytes[..20]) {
+        return Err(RecoverError::BadJournal("journal header checksum mismatch"));
+    }
+    let n = word(8) as usize;
+    let base = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let mut events = Vec::new();
+    let mut at = HEADER_V2_BYTES;
+    let mut intact = at;
+    let mut damage = None;
+    let mut expected_seq = base;
+    'frames: while at < bytes.len() {
+        if at + FRAME_V3_HEADER_BYTES > bytes.len() {
+            damage = Some("torn frame header");
+            break;
+        }
+        if word(at) != FRAME_MAGIC {
+            damage = Some("bad frame marker");
+            break;
+        }
+        let count = word(at + 4) as usize;
+        let first_seq = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap());
+        let payload_len = word(at + 16) as usize;
+        let Some(end) = payload_len.checked_add(at + FRAME_V3_HEADER_BYTES) else {
+            damage = Some("frame length overflow");
+            break;
+        };
+        if end > bytes.len() {
+            damage = Some("torn frame body");
+            break;
+        }
+        let payload = &bytes[at + FRAME_V3_HEADER_BYTES..end];
+        let mut crc = Crc32::new();
+        crc.update(&bytes[at + 4..at + 20]).update(payload);
+        if word(at + 20) != crc.finish() {
+            damage = Some("frame checksum mismatch");
+            break;
+        }
+        if first_seq != expected_seq {
+            damage = Some("sequence break");
+            break;
+        }
+        // The CRC already vouches for the bytes; the decode checks below
+        // guard against a frame that was *written* malformed.
+        let mut frame_events = Vec::with_capacity(count);
+        let mut r = 0usize;
+        let mut prev_u = 0u32;
+        for i in 0..count {
+            let Some(&kind) = payload.get(r) else {
+                damage = Some("frame payload underrun");
+                break 'frames;
+            };
+            r += 1;
+            if kind > 1 {
+                damage = Some("unknown record kind");
+                break 'frames;
+            }
+            let (Some(du), Some(dv)) = (get_leb128(payload, &mut r), get_leb128(payload, &mut r))
+            else {
+                damage = Some("frame payload underrun");
+                break 'frames;
+            };
+            let Some(u) = u32::try_from(i64::from(prev_u) + unzigzag(du)).ok() else {
+                damage = Some("vertex delta out of range");
+                break 'frames;
+            };
+            let Some(v) = u32::try_from(i64::from(u) + unzigzag(dv)).ok() else {
+                damage = Some("vertex delta out of range");
+                break 'frames;
+            };
+            prev_u = u;
+            frame_events.push((
+                first_seq + i as u64,
+                if kind == 0 {
+                    GraphEvent::EdgeInserted(u, v)
+                } else {
+                    GraphEvent::EdgeRemoved(u, v)
+                },
+            ));
+        }
+        if r != payload.len() {
+            damage = Some("frame payload overrun");
+            break;
+        }
+        expected_seq += frame_events.len() as u64;
+        events.extend(frame_events);
+        at = end;
+        intact = at;
+    }
+    Ok(JournalContents {
+        n,
+        version: VERSION_3,
         base,
         events,
         intact_bytes: intact as u64,
@@ -1053,6 +1229,29 @@ mod tests {
         std::fs::write(path, bytes).unwrap();
     }
 
+    /// Writes a v2-format journal byte-for-byte like the PR-7 code did:
+    /// v2 header, then one absolute-record frame per `frames` element.
+    fn write_v2_journal(path: &Path, n: usize, frames: &[Vec<(u64, GraphEvent)>]) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&JOURNAL_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&VERSION_2.to_le_bytes());
+        bytes.extend_from_slice(&(n as u32).to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        let crc = crc32(&bytes[..20]);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        for frame in frames {
+            bytes.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+            bytes.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+            for &(seq, event) in frame {
+                let at = bytes.len();
+                encode_record(&mut bytes, seq, event);
+                let crc = crc32(&bytes[at..at + RECORD_BYTES]);
+                bytes.extend_from_slice(&crc.to_le_bytes());
+            }
+        }
+        std::fs::write(path, bytes).unwrap();
+    }
+
     #[test]
     fn journal_roundtrip_and_reopen_append() {
         let dir = tmpdir("roundtrip");
@@ -1075,7 +1274,7 @@ mod tests {
 
         let contents = read_journal(&jp).unwrap();
         assert_eq!(contents.n, 6);
-        assert_eq!(contents.version, VERSION_2);
+        assert_eq!(contents.version, VERSION_3);
         assert_eq!(contents.base, 0);
         assert!(contents.damage.is_none());
         assert_eq!(
@@ -1191,7 +1390,7 @@ mod tests {
             &kcore_decomp::core_decomposition(&oracle)[..]
         );
 
-        // … and re-opening for append upgrades the file to v2 in place.
+        // … and re-opening for append upgrades the file to v3 in place.
         let storage = StorageHandle::real();
         let mut sink = JournalSink::open(&jp, 4, false, &storage).unwrap();
         assert_eq!(sink.existing(), 3);
@@ -1200,7 +1399,7 @@ mod tests {
         sink.append(&j.drain_since(3)).unwrap();
         drop(sink);
         let upgraded = read_journal(&jp).unwrap();
-        assert_eq!(upgraded.version, VERSION_2);
+        assert_eq!(upgraded.version, VERSION_3);
         assert_eq!(upgraded.events.len(), 4);
         assert!(upgraded.damage.is_none());
 
@@ -1211,6 +1410,94 @@ mod tests {
         std::fs::write(&tp, &raw[..raw.len() - 3]).unwrap();
         let sink = JournalSink::open(&tp, 4, false, &storage).unwrap();
         assert_eq!(sink.existing(), 2);
+    }
+
+    #[test]
+    fn fault_v2_journal_still_loads_and_upgrades_on_append() {
+        let dir = tmpdir("v2compat");
+        let jp = dir.join("j.kjrn");
+        let frames = vec![
+            vec![
+                (0, GraphEvent::EdgeInserted(0, 1)),
+                (1, GraphEvent::EdgeInserted(1, 2)),
+            ],
+            vec![(2, GraphEvent::EdgeRemoved(0, 1))],
+        ];
+        write_v2_journal(&jp, 4, &frames);
+
+        // The version-aware reader accepts v2 …
+        let contents = read_journal(&jp).unwrap();
+        assert_eq!(contents.version, VERSION_2);
+        let flat: Vec<(u64, GraphEvent)> = frames.iter().flatten().copied().collect();
+        assert_eq!(contents.events, flat);
+        assert!(contents.damage.is_none());
+
+        // … recovery replays it …
+        let d = DurabilityConfig {
+            journal_path: jp.clone(),
+            snapshot_path: dir.join("none.ksnp"),
+            ..DurabilityConfig::in_dir(&dir)
+        };
+        let rec = recover(&d, 3, PlannerConfig::default(), 64).unwrap();
+        assert_eq!(rec.next_seq, 3);
+        assert_eq!(rec.report.journal_version, VERSION_2);
+        let mut oracle = DynamicGraph::with_vertices(4);
+        oracle.insert_edge(1, 2).unwrap();
+        assert_eq!(
+            rec.engine.cores(),
+            &kcore_decomp::core_decomposition(&oracle)[..]
+        );
+
+        // … and re-opening for append upgrades the file to v3 in place.
+        let storage = StorageHandle::real();
+        let mut sink = JournalSink::open(&jp, 4, false, &storage).unwrap();
+        assert_eq!(sink.existing(), 3);
+        let mut j = Journaled::with_start_seq(TreapOrderCore::new(path_graph(4), 1), 3);
+        j.insert_edge(0, 2).unwrap();
+        sink.append(&j.drain_since(3)).unwrap();
+        drop(sink);
+        let upgraded = read_journal(&jp).unwrap();
+        assert_eq!(upgraded.version, VERSION_3);
+        assert_eq!(upgraded.events.len(), 4);
+        assert!(upgraded.damage.is_none());
+    }
+
+    #[test]
+    fn delta_frames_roundtrip_hostile_id_patterns() {
+        // Wide swings between consecutive ids, u > v, u == prev, max-id
+        // vertices: every zigzag/LEB128 edge case in one frame.
+        let n = u32::MAX;
+        let pats = [
+            (0u32, 1u32),
+            (u32::MAX - 1, 0),
+            (0, u32::MAX - 1),
+            (5, 5 + 1),
+            (5, 2),
+            (1_000_000, 999_999),
+        ];
+        let entries: Vec<JournalEntry> = pats
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| JournalEntry {
+                seq: 7 + i as u64,
+                event: if i % 2 == 0 {
+                    GraphEvent::EdgeInserted(u, v)
+                } else {
+                    GraphEvent::EdgeRemoved(u, v)
+                },
+                transitions: Vec::new(),
+            })
+            .collect();
+        let mut bytes = encode_journal_header(n as usize, 7);
+        bytes.extend_from_slice(&encode_frame(&entries));
+        let dir = tmpdir("hostile_deltas");
+        let jp = dir.join("j.kjrn");
+        std::fs::write(&jp, &bytes).unwrap();
+        let contents = read_journal(&jp).unwrap();
+        assert_eq!(contents.version, VERSION_3);
+        assert!(contents.damage.is_none());
+        let expect: Vec<(u64, GraphEvent)> = entries.iter().map(|e| (e.seq, e.event)).collect();
+        assert_eq!(contents.events, expect);
     }
 
     #[test]

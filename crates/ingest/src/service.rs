@@ -48,6 +48,7 @@ use crate::durability::{
     persist_index_snapshot, recover, DurabilityConfig, JournalSink, Recovered,
 };
 use crate::snapshot::{CoreSnapshot, SnapshotHandle, SnapshotReceiver};
+use kcore_decomp::Parallelism;
 use kcore_graph::{DynamicGraph, VertexId};
 use kcore_maint::journal::{replay_batched, GraphEvent, Journaled};
 use kcore_maint::{
@@ -119,7 +120,12 @@ impl IngestEngine for PlannedCore {
     }
 
     fn adopt_recovered(&mut self, rec: Recovered) -> bool {
+        // Recovery rebuilds the engine from journal + snapshot, which
+        // know nothing about wrapper-local configuration — re-apply the
+        // parallelism so a self-healed writer keeps its worker team.
+        let par = self.parallelism();
         *self = rec.engine;
+        self.set_parallelism(par);
         true
     }
 }
@@ -299,6 +305,11 @@ pub struct IngestConfig {
     /// constructors ([`IngestService::spawn_planned`] and the recovery
     /// path).
     pub planner: PlannerConfig,
+    /// Maintenance parallelism for engines spawned by the convenience
+    /// constructors: component passes run on the shared worker team and
+    /// the planner prices the parallel strategies. `None` keeps the
+    /// writer strictly serial (the default).
+    pub parallelism: Option<Parallelism>,
     /// Self-healing: rebuild a panicked engine through `recover()`
     /// (requires durability). `None` still catches the panic — the
     /// writer parks in [`ServiceHealth::Failed`] and keeps serving
@@ -316,6 +327,7 @@ impl Default for IngestConfig {
             clock: ClockMode::Wall,
             durability: None,
             planner: PlannerConfig::default(),
+            parallelism: None,
             recovery: None,
         }
     }
@@ -359,6 +371,12 @@ impl IngestConfig {
     /// Enables supervised self-healing under `policy`.
     pub fn self_healing(mut self, policy: RecoveryPolicy) -> Self {
         self.recovery = Some(policy);
+        self
+    }
+
+    /// Enables thread-parallel maintenance in spawned engines.
+    pub fn parallel(mut self, par: Parallelism) -> Self {
+        self.parallelism = Some(par);
         self
     }
 }
@@ -479,7 +497,8 @@ pub struct IngestService<M: IngestEngine = PlannedCore> {
 impl IngestService<PlannedCore> {
     /// Spawns the default planner-driven service over `graph`.
     pub fn spawn_planned(graph: DynamicGraph, seed: u64, cfg: IngestConfig) -> io::Result<Self> {
-        let engine = PlannedCore::with_config(graph, seed, cfg.planner.clone());
+        let mut engine = PlannedCore::with_config(graph, seed, cfg.planner.clone());
+        engine.set_parallelism(cfg.parallelism);
         Self::spawn_with_engine(engine, 0, cfg)
     }
 

@@ -7,7 +7,7 @@ use crate::durability::{recover, DurabilityConfig};
 use crate::service::{ClockMode, IngestConfig, IngestEngine, IngestError, IngestService};
 use crate::sources::{apply_events, churn_events, window_event};
 use crate::GraphEvent;
-use kcore_decomp::core_decomposition;
+use kcore_decomp::{core_decomposition, Parallelism};
 use kcore_gen::{barabasi_albert, churn_stream, timestamp_edges, SlidingWindow};
 use kcore_graph::DynamicGraph;
 use kcore_maint::{PlannerConfig, RecomputeCore};
@@ -479,4 +479,69 @@ fn wall_clock_mode_flushes_by_interval() {
         .expect("interval flush must fire");
     assert_eq!(snap.ops, 1);
     svc.shutdown();
+}
+
+#[test]
+fn parallel_writer_matches_serial_writer_bit_identically() {
+    use kcore_maint::PlanPolicy;
+    let base = barabasi_albert(80, 3, 7);
+    let run = |cfg: IngestConfig, policy| {
+        let mut cfg = cfg.max_batch(32);
+        cfg.planner = PlannerConfig::with_policy(policy);
+        let svc = IngestService::spawn_planned(base.clone(), 11, cfg).unwrap();
+        for b in churn_stream(&base, 8, 12, 8, 23) {
+            for e in churn_events(&b) {
+                svc.submit(e).unwrap();
+            }
+        }
+        svc.shutdown()
+    };
+    // Strategy-matched comparison: both writers run component-split
+    // passes, the second with the plan phase on the worker team (cutoff
+    // zero forces it even for tiny micro-batch seed pools). Everything
+    // the writer reports must be bit-identical.
+    let (sr, se) = run(IngestConfig::scripted(), PlanPolicy::ForceSplit);
+    let par = Parallelism::exact(4).with_cutoff(0);
+    let (pr, mut pe) = run(
+        IngestConfig::scripted().parallel(par),
+        PlanPolicy::ForceParSplit,
+    );
+    assert_eq!(pe.parallelism(), Some(par));
+    assert_eq!(pr.events, sr.events);
+    assert_eq!(pr.batches, sr.batches);
+    assert_eq!(pr.update_stats, sr.update_stats);
+    assert_eq!(pe.cores(), se.cores());
+    pe.validate();
+}
+
+#[test]
+fn recovery_preserves_writer_parallelism() {
+    let dir = tmpdir("par-recovery");
+    let d = DurabilityConfig::in_dir(&dir).snapshot_every(2);
+    let base = barabasi_albert(40, 3, 5);
+    let par = Parallelism::exact(2).with_cutoff(0);
+    let svc = IngestService::spawn_planned(
+        base.clone(),
+        5,
+        IngestConfig::scripted()
+            .max_batch(8)
+            .durable(d.clone())
+            .parallel(par),
+    )
+    .unwrap();
+    for b in churn_stream(&base, 4, 8, 4, 9) {
+        for e in churn_events(&b) {
+            svc.submit(e).unwrap();
+        }
+        svc.flush().unwrap();
+    }
+    let (_, mut engine) = svc.shutdown();
+    // adopt_recovered replaces the engine wholesale; the wrapper-local
+    // parallelism (worker team + planner threads) must survive it.
+    let rec = recover(&d, 99, PlannerConfig::default(), 16).unwrap();
+    let expected = rec.engine.cores().to_vec();
+    assert!(IngestEngine::adopt_recovered(&mut engine, rec));
+    assert_eq!(engine.parallelism(), Some(par));
+    assert_eq!(engine.planner().threads(), 2);
+    assert_eq!(engine.cores(), &expected[..]);
 }

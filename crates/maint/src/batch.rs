@@ -204,8 +204,13 @@ impl<S: OrderSeq> OrderCore<S> {
             // group structure cannot skew any statistic.
             if opts.split_components && seeds.len() > 1 {
                 let groups = self.split_level_seeds(&seeds, k);
-                for group in &groups {
-                    self.promote_group(group, k, stats, &mut dirty);
+                let threads = opts.pass_threads();
+                if threads > 1 && groups.len() > 1 && seeds.len() >= opts.pass_seed_cutoff() {
+                    self.promote_groups_parallel(&groups, k, threads, stats, &mut dirty);
+                } else {
+                    for group in &groups {
+                        self.promote_group(group, k, stats, &mut dirty);
+                    }
                 }
             } else {
                 let group = std::mem::take(&mut seeds);
@@ -371,8 +376,13 @@ impl<S: OrderSeq> OrderCore<S> {
             pool.retain(|&x| self.core[x as usize] != k);
             if opts.split_components && seeds.len() > 1 {
                 let groups = self.split_level_seeds(&seeds, k);
-                for group in &groups {
-                    self.dismiss_group(group, k, stats, &mut pool);
+                let threads = opts.pass_threads();
+                if threads > 1 && groups.len() > 1 && seeds.len() >= opts.pass_seed_cutoff() {
+                    self.dismiss_groups_parallel(&groups, k, threads, stats, &mut pool);
+                } else {
+                    for group in &groups {
+                        self.dismiss_group(group, k, stats, &mut pool);
+                    }
                 }
             } else {
                 let group = std::mem::take(&mut seeds);

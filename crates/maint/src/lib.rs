@@ -40,6 +40,7 @@ pub mod query;
 pub mod vertex;
 
 mod insert;
+mod par_pass;
 mod remove;
 
 pub use components::BatchOptions;

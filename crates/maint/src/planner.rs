@@ -63,8 +63,28 @@ pub enum Strategy {
     Batched,
     /// Order-based passes split per seed component.
     Split,
+    /// Component-split passes with the plan phase on the worker team
+    /// (thread-parallel maintenance; priced only when the planner knows
+    /// about more than one thread).
+    ParSplit,
     /// Full recompute of core numbers; k-order rebuild deferred.
     Recompute,
+    /// Full recompute on the level-synchronous parallel peel
+    /// (`decomp::par`); k-order rebuild deferred.
+    ParRecompute,
+}
+
+impl Strategy {
+    /// `true` for the order-based pass family (batched / split /
+    /// par-split) — the hysteresis incumbent is tracked per *family*,
+    /// so switching between members of one family is free while
+    /// pass ↔ recompute flips still pay the challenger bar.
+    pub fn is_pass_family(self) -> bool {
+        matches!(
+            self,
+            Strategy::Batched | Strategy::Split | Strategy::ParSplit
+        )
+    }
 }
 
 /// Dispatch policy of a [`Planner`].
@@ -77,8 +97,17 @@ pub enum PlanPolicy {
     ForceBatch,
     /// Always run the component-split order-based passes.
     ForceSplit,
-    /// Always recompute (order rebuild stays deferred).
+    /// Always run thread-parallel component passes (degrades to
+    /// [`PlanPolicy::ForceSplit`] when only one thread is available).
+    ForceParSplit,
+    /// Always recompute (order rebuild stays deferred). With more than
+    /// one thread configured this executes — and is recorded as — the
+    /// parallel peel, matching the engine's long-standing behaviour of
+    /// using the peel whenever a [`Parallelism`] is set.
     ForceRecompute,
+    /// Always recompute on the parallel peel (degrades to the serial
+    /// decomposition when only one thread is available).
+    ForceParRecompute,
 }
 
 /// Tunables of the [`Planner`]: the policy, the EWMA smoothing factor,
@@ -96,6 +125,12 @@ pub struct PlannerConfig {
     pub batched_remove_ns_per_edge: f64,
     /// Prior: decomposition cost per graph unit (vertex + edge), ns.
     pub recompute_ns_per_unit: f64,
+    /// Prior: thread-parallel maintenance cost per batch edge, ns
+    /// (priced only when the planner knows about > 1 thread).
+    pub par_pass_ns_per_edge: f64,
+    /// Prior: parallel-peel recompute cost per graph unit, ns (priced
+    /// only when the planner knows about > 1 thread).
+    pub par_recompute_ns_per_unit: f64,
     /// Prior: pass-phase cost per seed (stage-2 re-pricing), ns.
     pub pass_ns_per_seed: f64,
     /// Prior: deferred k-order rebuild cost per graph unit, ns.
@@ -164,6 +199,12 @@ impl Default for PlannerConfig {
             // scan, while a cold order index makes the first batched
             // pass an order of magnitude slower than steady state.
             recompute_ns_per_unit: 16.0,
+            // Parallel priors assume roughly 2× scaling at the typical
+            // 4-thread configuration — deliberately conservative (the
+            // plan/apply split serialises the commit phase, the peel its
+            // level barriers); the EWMAs converge to the real ratio.
+            par_pass_ns_per_edge: 2_500.0,
+            par_recompute_ns_per_unit: 9.0,
             pass_ns_per_seed: 2_000.0,
             rebuild_ns_per_unit: 40.0,
             ewma_max_step: 3.0,
@@ -196,9 +237,13 @@ pub struct PlannerStats {
     pub batched_chosen: usize,
     /// Pass pipelines dispatched to component-split passes.
     pub split_chosen: usize,
+    /// Pass pipelines dispatched to thread-parallel component passes.
+    pub par_split_chosen: usize,
     /// Recomputes actually executed (fully-skipped batches that changed
     /// nothing are not counted and do not move the incumbent).
     pub recompute_chosen: usize,
+    /// Recomputes executed on the parallel peel.
+    pub par_recompute_chosen: usize,
     /// Auto decisions revised *after* the apply phase: passes abandoned
     /// for a recompute once the seed counts were known.
     pub late_recompute: usize,
@@ -213,6 +258,10 @@ pub struct PlannerStats {
     pub batched_remove_ns_per_edge: f64,
     /// Calibrated EWMA: recompute cost per graph unit, ns.
     pub recompute_ns_per_unit: f64,
+    /// Calibrated EWMA: thread-parallel maintenance cost per edge, ns.
+    pub par_pass_ns_per_edge: f64,
+    /// Calibrated EWMA: parallel-peel recompute cost per unit, ns.
+    pub par_recompute_ns_per_unit: f64,
     /// Calibrated EWMA: pass-phase cost per seed, ns.
     pub pass_ns_per_seed: f64,
     /// Calibrated EWMA: order rebuild cost per graph unit, ns.
@@ -245,6 +294,10 @@ pub struct Planner {
     cfg: PlannerConfig,
     stats: PlannerStats,
     clock: Clock,
+    /// Worker threads the engine may use (1 = serial). Parallel
+    /// strategies are priced only when this exceeds 1, so a planner that
+    /// never learns about a [`Parallelism`] plans exactly as before.
+    threads: usize,
 }
 
 impl Planner {
@@ -254,6 +307,8 @@ impl Planner {
             batched_insert_ns_per_edge: cfg.batched_insert_ns_per_edge,
             batched_remove_ns_per_edge: cfg.batched_remove_ns_per_edge,
             recompute_ns_per_unit: cfg.recompute_ns_per_unit,
+            par_pass_ns_per_edge: cfg.par_pass_ns_per_edge,
+            par_recompute_ns_per_unit: cfg.par_recompute_ns_per_unit,
             pass_ns_per_seed: cfg.pass_ns_per_seed,
             rebuild_ns_per_unit: cfg.rebuild_ns_per_unit,
             ..PlannerStats::default()
@@ -262,7 +317,20 @@ impl Planner {
             cfg,
             stats,
             clock: Clock::Wall(std::time::Instant::now()),
+            threads: 1,
         }
+    }
+
+    /// Tells the cost model how many worker threads the engine may use.
+    /// With `threads <= 1` every estimate — and therefore every plan —
+    /// is identical to a planner that never heard of parallelism.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Worker threads the cost model prices against.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// A planner whose notion of time is `clock` (monotone nanoseconds).
@@ -307,20 +375,40 @@ impl Planner {
         order_fresh: bool,
     ) -> Strategy {
         let b = inserts + removes;
+        let par = self.threads > 1;
         match self.cfg.policy {
             PlanPolicy::ForceBatch => Strategy::Batched,
             PlanPolicy::ForceSplit => Strategy::Split,
-            PlanPolicy::ForceRecompute => Strategy::Recompute,
-            PlanPolicy::Auto => {
-                if let Some(crossover) = self.cfg.crossover_edges {
-                    return if b >= crossover {
-                        Strategy::Recompute
-                    } else {
-                        Strategy::Batched
-                    };
+            PlanPolicy::ForceParSplit => {
+                if par {
+                    Strategy::ParSplit
+                } else {
+                    Strategy::Split
                 }
+            }
+            // ForceRecompute keeps the engine's PR-5 behaviour: the peel
+            // runs parallel whenever a Parallelism is configured, so with
+            // threads the dispatch is (and is recorded as) ParRecompute.
+            PlanPolicy::ForceRecompute | PlanPolicy::ForceParRecompute => {
+                if par {
+                    Strategy::ParRecompute
+                } else {
+                    Strategy::Recompute
+                }
+            }
+            PlanPolicy::Auto => {
+                // Family members first: the cheapest way to run passes,
+                // and the cheapest way to recompute. With one thread the
+                // parallel candidates are not priced at all, so the plan
+                // is bit-compatible with the serial-only planner.
                 let mut est_batched = inserts as f64 * self.stats.batched_insert_ns_per_edge
                     + removes as f64 * self.stats.batched_remove_ns_per_edge;
+                let est_par_pass = b as f64 * self.stats.par_pass_ns_per_edge;
+                let mut pass_member = Strategy::Batched;
+                if par && est_par_pass < est_batched {
+                    est_batched = est_par_pass;
+                    pass_member = Strategy::ParSplit;
+                }
                 if !order_fresh {
                     // Amortised switching charge (see `PlannerConfig::
                     // rebuild_horizon_batches`): going back to passes
@@ -328,32 +416,47 @@ impl Planner {
                     est_batched += (n + m) as f64 * self.stats.rebuild_ns_per_unit
                         / self.cfg.rebuild_horizon_batches.max(1) as f64;
                 }
-                let est_recompute = (n + m + b) as f64 * self.stats.recompute_ns_per_unit;
-                // Hysteresis: the challenger must clearly undercut the
-                // incumbent, or the planner sticks with what it last ran
-                // (near the crossover the estimates sit within noise and
-                // flipping costs a rebuild round trip).
+                let mut est_recompute = (n + m + b) as f64 * self.stats.recompute_ns_per_unit;
+                let est_par_recompute = (n + m + b) as f64 * self.stats.par_recompute_ns_per_unit;
+                let mut rec_member = Strategy::Recompute;
+                if par && est_par_recompute < est_recompute {
+                    est_recompute = est_par_recompute;
+                    rec_member = Strategy::ParRecompute;
+                }
+                if let Some(crossover) = self.cfg.crossover_edges {
+                    return if b >= crossover {
+                        rec_member
+                    } else {
+                        pass_member
+                    };
+                }
+                // Hysteresis: the challenger *family* must clearly
+                // undercut the incumbent family, or the planner sticks
+                // with what it last ran (near the crossover the
+                // estimates sit within noise and flipping costs a
+                // rebuild round trip). Switching members inside a family
+                // is free — no rebuild is involved.
                 let h = self.cfg.switch_hysteresis.max(1.0);
                 match self.stats.last {
-                    Some(Strategy::Batched | Strategy::Split) => {
+                    Some(last) if last.is_pass_family() => {
                         if est_recompute * h < est_batched {
-                            Strategy::Recompute
+                            rec_member
                         } else {
-                            Strategy::Batched
+                            pass_member
                         }
                     }
-                    Some(Strategy::Recompute) => {
+                    Some(_) => {
                         if est_batched * h < est_recompute {
-                            Strategy::Batched
+                            pass_member
                         } else {
-                            Strategy::Recompute
+                            rec_member
                         }
                     }
                     None => {
                         if est_recompute < est_batched {
-                            Strategy::Recompute
+                            rec_member
                         } else {
-                            Strategy::Batched
+                            pass_member
                         }
                     }
                 }
@@ -406,6 +509,28 @@ impl Planner {
         }
     }
 
+    /// Feeds an observed thread-parallel maintenance execution
+    /// (`edges` batch edges in `ns` nanoseconds).
+    pub fn observe_par_pass(&mut self, edges: usize, ns: u64) {
+        if edges == 0 {
+            return;
+        }
+        self.stats.par_pass_ns_per_edge =
+            self.ewma(self.stats.par_pass_ns_per_edge, ns as f64 / edges as f64);
+    }
+
+    /// Feeds an observed parallel-peel recompute (`units` = vertices +
+    /// edges + batch).
+    pub fn observe_par_recompute(&mut self, units: usize, ns: u64) {
+        if units == 0 {
+            return;
+        }
+        self.stats.par_recompute_ns_per_unit = self.ewma(
+            self.stats.par_recompute_ns_per_unit,
+            ns as f64 / units as f64,
+        );
+    }
+
     /// Feeds an observed pass phase (`units` = seeds + level span).
     pub fn observe_pass(&mut self, units: usize, ns: u64) {
         if units == 0 {
@@ -440,7 +565,9 @@ impl Planner {
         match strategy {
             Strategy::Batched => self.stats.batched_chosen += 1,
             Strategy::Split => self.stats.split_chosen += 1,
+            Strategy::ParSplit => self.stats.par_split_chosen += 1,
             Strategy::Recompute => self.stats.recompute_chosen += 1,
+            Strategy::ParRecompute => self.stats.par_recompute_chosen += 1,
         }
         self.stats.last = Some(strategy);
     }
@@ -463,7 +590,7 @@ impl Planner {
         let d = self.cfg.stale_decay.clamp(0.0, 1.0);
         let relax = |current: f64, prior: f64| current + (prior - current) * d;
         match chosen {
-            Strategy::Recompute => {
+            Strategy::Recompute | Strategy::ParRecompute => {
                 self.stats.batched_insert_ns_per_edge = relax(
                     self.stats.batched_insert_ns_per_edge,
                     self.cfg.batched_insert_ns_per_edge,
@@ -474,12 +601,41 @@ impl Planner {
                 );
                 self.stats.pass_ns_per_seed =
                     relax(self.stats.pass_ns_per_seed, self.cfg.pass_ns_per_seed);
+                self.stats.par_pass_ns_per_edge = relax(
+                    self.stats.par_pass_ns_per_edge,
+                    self.cfg.par_pass_ns_per_edge,
+                );
             }
-            Strategy::Batched | Strategy::Split => {
+            Strategy::Batched | Strategy::Split | Strategy::ParSplit => {
                 self.stats.recompute_ns_per_unit = relax(
                     self.stats.recompute_ns_per_unit,
                     self.cfg.recompute_ns_per_unit,
                 );
+                self.stats.par_recompute_ns_per_unit = relax(
+                    self.stats.par_recompute_ns_per_unit,
+                    self.cfg.par_recompute_ns_per_unit,
+                );
+                // The pass-family member that did not run also drifts
+                // toward its prior (stale estimates may not lock the
+                // intra-family pick either).
+                match chosen {
+                    Strategy::ParSplit => {
+                        self.stats.batched_insert_ns_per_edge = relax(
+                            self.stats.batched_insert_ns_per_edge,
+                            self.cfg.batched_insert_ns_per_edge,
+                        );
+                        self.stats.batched_remove_ns_per_edge = relax(
+                            self.stats.batched_remove_ns_per_edge,
+                            self.cfg.batched_remove_ns_per_edge,
+                        );
+                    }
+                    _ => {
+                        self.stats.par_pass_ns_per_edge = relax(
+                            self.stats.par_pass_ns_per_edge,
+                            self.cfg.par_pass_ns_per_edge,
+                        );
+                    }
+                }
             }
         }
     }
@@ -536,10 +692,40 @@ impl<S: OrderSeq> PlannedCore<S> {
     }
 
     /// Recompute fallbacks run the level-synchronous parallel peel under
-    /// `par` (identical core numbers, more cores).
+    /// `par` (identical core numbers, more cores), batch passes may run
+    /// thread-parallel component passes, and the planner prices both as
+    /// distinct strategies.
     pub fn with_parallelism(mut self, par: Parallelism) -> Self {
-        self.par = Some(par);
+        self.set_parallelism(Some(par));
         self
+    }
+
+    /// The configured [`Parallelism`], if any.
+    pub fn parallelism(&self) -> Option<Parallelism> {
+        self.par
+    }
+
+    /// Re-points the engine at a (new) [`Parallelism`] — or back to
+    /// serial with `None` — keeping planner calibration intact.
+    pub fn set_parallelism(&mut self, par: Option<Parallelism>) {
+        self.par = par;
+        self.planner
+            .set_threads(par.map_or(1, |p| p.resolved_threads()));
+    }
+
+    /// Worker threads the planner prices against (1 = serial).
+    fn threads(&self) -> usize {
+        self.planner.threads()
+    }
+
+    /// The recompute-family member that actually executes: the peel runs
+    /// parallel whenever threads are available.
+    fn recompute_strategy(&self) -> Strategy {
+        if self.threads() > 1 {
+            Strategy::ParRecompute
+        } else {
+            Strategy::Recompute
+        }
     }
 
     /// Decision counters and calibrated costs.
@@ -651,9 +837,9 @@ impl<S: OrderSeq> PlannedCore<S> {
         }
         let (n, m) = self.dims();
         match self.planner.plan(edges.len(), 0, n, m, self.order_fresh) {
-            Strategy::Recompute => {
+            s @ (Strategy::Recompute | Strategy::ParRecompute) => {
                 if self.recompute_batch(edges, &[], &mut stats) {
-                    self.planner.note_choice(Strategy::Recompute);
+                    self.planner.note_choice(s);
                 }
             }
             s => self.run_batched(s, edges, false, true, &mut stats),
@@ -669,9 +855,9 @@ impl<S: OrderSeq> PlannedCore<S> {
         }
         let (n, m) = self.dims();
         match self.planner.plan(0, edges.len(), n, m, self.order_fresh) {
-            Strategy::Recompute => {
+            s @ (Strategy::Recompute | Strategy::ParRecompute) => {
                 if self.recompute_batch(&[], edges, &mut stats) {
-                    self.planner.note_choice(Strategy::Recompute);
+                    self.planner.note_choice(s);
                 }
             }
             s => self.run_batched(s, edges, true, true, &mut stats),
@@ -697,9 +883,9 @@ impl<S: OrderSeq> PlannedCore<S> {
             .planner
             .plan(inserts.len(), removes.len(), n, m, self.order_fresh)
         {
-            Strategy::Recompute => {
+            s @ (Strategy::Recompute | Strategy::ParRecompute) => {
                 if self.recompute_batch(inserts, removes, &mut stats) {
-                    self.planner.note_choice(Strategy::Recompute);
+                    self.planner.note_choice(s);
                 }
             }
             s => {
@@ -764,25 +950,36 @@ impl<S: OrderSeq> PlannedCore<S> {
                 // priors — the abandoned apply phase is direct evidence
                 // of batched cost, fed into the EWMA below so the model
                 // learns rather than re-attempting the same batch shape.
-                self.planner.record(Strategy::Recompute);
+                let rec = self.recompute_strategy();
+                self.planner.record(rec);
                 let t1 = self.planner.now_ns();
                 self.planner
                     .observe_batched(removal, edges.len(), t1.saturating_sub(t0));
                 self.recompute_in_place(stats);
                 let t2 = self.planner.now_ns();
-                self.planner.observe_recompute(n + m, t2.saturating_sub(t1));
+                if rec == Strategy::ParRecompute {
+                    self.planner
+                        .observe_par_recompute(n + m, t2.saturating_sub(t1));
+                } else {
+                    self.planner.observe_recompute(n + m, t2.saturating_sub(t1));
+                }
                 return;
             }
         }
 
-        // ForceBatch means *merged* passes; only ForceSplit or Auto's
-        // seed-count heuristic switch the pass phase to component splits.
-        let split = matches!(strategy, Strategy::Split)
+        // ForceBatch means *merged* passes; only ForceSplit / ParSplit
+        // or Auto's seed-count heuristic switch the pass phase to
+        // component splits. ParSplit additionally hands the component
+        // passes the configured Parallelism.
+        let par_pass = matches!(strategy, Strategy::ParSplit) && self.threads() > 1;
+        let split = par_pass
+            || matches!(strategy, Strategy::Split)
             || (matches!(self.planner.cfg.policy, PlanPolicy::Auto)
                 && summary
                     .is_some_and(|(seeds, _, _)| seeds >= self.planner.cfg.split_seed_threshold));
         let opts = BatchOptions {
             split_components: split,
+            parallelism: if par_pass { self.par } else { None },
         };
         let tp = self.planner.now_ns();
         if removal {
@@ -795,9 +992,16 @@ impl<S: OrderSeq> PlannedCore<S> {
             self.planner
                 .observe_pass(seeds + (hi - lo + 1) as usize, t1.saturating_sub(tp));
         }
-        self.planner
-            .observe_batched(removal, edges.len(), t1.saturating_sub(t0));
-        let executed = if split {
+        if par_pass {
+            self.planner
+                .observe_par_pass(edges.len(), t1.saturating_sub(t0));
+        } else {
+            self.planner
+                .observe_batched(removal, edges.len(), t1.saturating_sub(t0));
+        }
+        let executed = if par_pass {
+            Strategy::ParSplit
+        } else if split {
             Strategy::Split
         } else {
             Strategy::Batched
@@ -852,8 +1056,13 @@ impl<S: OrderSeq> PlannedCore<S> {
         self.recompute_in_place(stats);
         let t1 = self.planner.now_ns();
         let (nv, m) = self.dims();
-        self.planner
-            .observe_recompute(nv + m + applied, t1.saturating_sub(t0));
+        if self.threads() > 1 {
+            self.planner
+                .observe_par_recompute(nv + m + applied, t1.saturating_sub(t0));
+        } else {
+            self.planner
+                .observe_recompute(nv + m + applied, t1.saturating_sub(t0));
+        }
         true
     }
 
@@ -1001,6 +1210,108 @@ mod tests {
             relaxed < 700_000.0,
             "stale batched estimate must relax toward its prior (got {relaxed})"
         );
+    }
+
+    #[test]
+    fn single_thread_plan_never_prices_parallel_members() {
+        // With one thread the parallel candidates must not even be
+        // considered — regardless of how cheap their priors look — so
+        // the dispatch is bit-compatible with the serial-only planner.
+        let cfg = PlannerConfig {
+            par_pass_ns_per_edge: 0.001,
+            par_recompute_ns_per_unit: 0.001,
+            ..PlannerConfig::default()
+        };
+        let serial = Planner::new(PlannerConfig::default());
+        let tuned = Planner::new(cfg);
+        for b in [1usize, 8, 64, 512, 4096] {
+            for (n, m) in [(100usize, 200usize), (10_000, 80_000)] {
+                for fresh in [true, false] {
+                    let got = tuned.plan(b, b / 2, n, m, fresh);
+                    assert!(!matches!(got, Strategy::ParSplit | Strategy::ParRecompute));
+                    assert_eq!(got, serial.plan(b, b / 2, n, m, fresh));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_members_are_priced_distinctly_with_threads() {
+        let mut p = Planner::new(PlannerConfig::default());
+        p.set_threads(4);
+        // Parallel passes priced below serial passes: small batches go
+        // to ParSplit instead of Batched.
+        p.stats.par_pass_ns_per_edge = p.stats.batched_insert_ns_per_edge / 10.0;
+        assert_eq!(p.plan(4, 0, 100_000, 400_000, true), Strategy::ParSplit);
+        // Parallel peel priced below the serial decomposition: huge
+        // batches go to ParRecompute instead of Recompute.
+        assert!(p.stats.par_recompute_ns_per_unit < p.stats.recompute_ns_per_unit);
+        assert_eq!(
+            p.plan(500_000, 0, 1_000, 2_000, true),
+            Strategy::ParRecompute
+        );
+        // And the inverse calibration flips each member back serial.
+        p.stats.par_pass_ns_per_edge = p.stats.batched_insert_ns_per_edge * 10.0;
+        p.stats.par_recompute_ns_per_unit = p.stats.recompute_ns_per_unit * 10.0;
+        assert_eq!(p.plan(4, 0, 100_000, 400_000, true), Strategy::Batched);
+        assert_eq!(p.plan(500_000, 0, 1_000, 2_000, true), Strategy::Recompute);
+    }
+
+    #[test]
+    fn force_policies_degrade_without_threads() {
+        let mk = |policy, threads| {
+            let mut p = Planner::new(PlannerConfig::with_policy(policy));
+            p.set_threads(threads);
+            p.plan(10, 0, 100, 200, true)
+        };
+        assert_eq!(mk(PlanPolicy::ForceParSplit, 1), Strategy::Split);
+        assert_eq!(mk(PlanPolicy::ForceParSplit, 4), Strategy::ParSplit);
+        assert_eq!(mk(PlanPolicy::ForceParRecompute, 1), Strategy::Recompute);
+        assert_eq!(mk(PlanPolicy::ForceParRecompute, 4), Strategy::ParRecompute);
+        // ForceRecompute rides the peel when threads are available
+        // (PR-5 behaviour: the peel runs parallel whenever configured).
+        assert_eq!(mk(PlanPolicy::ForceRecompute, 4), Strategy::ParRecompute);
+        assert_eq!(mk(PlanPolicy::ForceRecompute, 1), Strategy::Recompute);
+    }
+
+    #[test]
+    fn parallel_policies_agree_on_cores_and_record_choices() {
+        let batch: Vec<(u32, u32)> = vec![(0, 11), (1, 10), (2, 9), (3, 8), (4, 7)];
+        let par = Parallelism::exact(4).with_cutoff(0);
+        let mut reference = Planned::with_policy(fixtures::path(12), 9, PlanPolicy::ForceSplit);
+        reference.insert_edges(&batch);
+        reference.validate();
+
+        let mut ps = Planned::with_policy(fixtures::path(12), 9, PlanPolicy::ForceParSplit)
+            .with_parallelism(par);
+        assert_eq!(ps.parallelism(), Some(par));
+        ps.insert_edges(&batch);
+        ps.validate();
+        assert_eq!(ps.cores(), reference.cores());
+        assert_eq!(ps.planner_stats().par_split_chosen, 1);
+        assert_eq!(ps.planner_stats().last, Some(Strategy::ParSplit));
+
+        let mut pr = Planned::with_policy(fixtures::path(12), 9, PlanPolicy::ForceParRecompute)
+            .with_parallelism(par);
+        pr.insert_edges(&batch);
+        pr.validate();
+        assert_eq!(pr.cores(), reference.cores());
+        assert_eq!(pr.planner_stats().par_recompute_chosen, 1);
+        assert_eq!(pr.planner_stats().last, Some(Strategy::ParRecompute));
+    }
+
+    #[test]
+    fn set_parallelism_drives_planner_threads() {
+        let mut pc = Planned::new(fixtures::triangle(), 1);
+        assert_eq!(pc.planner().threads(), 1);
+        assert_eq!(pc.parallelism(), None);
+        let par = Parallelism::exact(3);
+        pc.set_parallelism(Some(par));
+        assert_eq!(pc.planner().threads(), 3);
+        assert_eq!(pc.parallelism(), Some(par));
+        pc.set_parallelism(None);
+        assert_eq!(pc.planner().threads(), 1);
+        assert_eq!(pc.parallelism(), None);
     }
 
     #[test]

@@ -2,19 +2,34 @@
 //! robustness (roundtrip + corruption), heuristic-built indices under
 //! churn, and batch-vs-incremental equivalence.
 
-use kcore_decomp::Heuristic;
+use kcore_decomp::{Heuristic, Parallelism};
 use kcore_graph::DynamicGraph;
 use kcore_maint::{
     BatchOp, CoreMaintainer, OrderCore, PlanPolicy, PlannedTreapCore, RecomputeCore, TreapOrderCore,
 };
 use proptest::prelude::*;
 
-const ALL_POLICIES: [PlanPolicy; 4] = [
+const ALL_POLICIES: [PlanPolicy; 6] = [
     PlanPolicy::Auto,
     PlanPolicy::ForceBatch,
     PlanPolicy::ForceSplit,
+    PlanPolicy::ForceParSplit,
     PlanPolicy::ForceRecompute,
+    PlanPolicy::ForceParRecompute,
 ];
+
+/// A planned engine for the given policy; the parallel policies get a
+/// two-thread `Parallelism` with the cutoff zeroed so the worker-team
+/// paths genuinely run even on tiny property-test graphs.
+fn planned_with(g: DynamicGraph, seed: u64, policy: PlanPolicy) -> PlannedTreapCore {
+    let pc = PlannedTreapCore::with_policy(g, seed, policy);
+    match policy {
+        PlanPolicy::ForceParSplit | PlanPolicy::ForceParRecompute => {
+            pc.with_parallelism(Parallelism::exact(2).with_cutoff(0))
+        }
+        _ => pc,
+    }
+}
 
 fn arb_graph(n: u32, max_edges: usize) -> impl Strategy<Value = DynamicGraph> {
     prop::collection::vec((0..n, 0..n), 0..max_edges).prop_map(move |pairs| {
@@ -254,7 +269,7 @@ proptest! {
     ) {
         let mut reference: Option<(Vec<u32>, usize, usize)> = None;
         for policy in ALL_POLICIES {
-            let mut pc = PlannedTreapCore::with_policy(g.clone(), seed, policy);
+            let mut pc = planned_with(g.clone(), seed, policy);
             let si = pc.insert_edges(&raw);
             let sr = pc.remove_edges(&picks);
             // After a recompute fallback the engine must remain
@@ -295,7 +310,7 @@ proptest! {
         let g = kcore_gen::barabasi_albert(n, attach, seed);
         let mut reference: Option<Vec<u32>> = None;
         for policy in ALL_POLICIES {
-            let mut pc = PlannedTreapCore::with_policy(g.clone(), seed ^ 1, policy);
+            let mut pc = planned_with(g.clone(), seed ^ 1, policy);
             pc.insert_edges(&extra);
             pc.validate();
             let cores = pc.cores().to_vec();
@@ -328,7 +343,7 @@ proptest! {
         }
         let stream = kcore_gen::churn_stream(&g, 5, ins, rem, seed);
         for policy in ALL_POLICIES {
-            let mut pc = PlannedTreapCore::with_policy(g.clone(), seed, policy);
+            let mut pc = planned_with(g.clone(), seed, policy);
             let mut oracle = RecomputeCore::new(g.clone());
             for b in &stream {
                 let s = pc.apply_churn(&b.inserts, &b.removes);
@@ -368,5 +383,139 @@ proptest! {
         }
         prop_assert_eq!(batched.cores(), seq.cores());
         batched.validate();
+    }
+}
+
+// ---------------------------------------------------------------------
+// PR 8: thread-parallel component passes must be bit-identical to the
+// serial component-split path — cores, k-order (`global_order`),
+// `UpdateStats`, and the drained core-change log, at every thread count.
+// ---------------------------------------------------------------------
+
+/// Runs `step` against a serial component-split engine and parallel
+/// engines at 1/2/4 threads, asserting every observable matches after
+/// every batch.
+fn assert_parallel_bit_identical(
+    base: &DynamicGraph,
+    seed: u64,
+    batches: &[(bool, Vec<(u32, u32)>)],
+) {
+    use kcore_decomp::Parallelism;
+    use kcore_maint::BatchOptions;
+
+    let serial_opts = BatchOptions::component_split();
+    let mut serial = TreapOrderCore::new(base.clone(), seed);
+    serial.enable_core_change_tracking();
+
+    let par_engines: Vec<(BatchOptions, TreapOrderCore)> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| {
+            // cutoff 0 forces the plan/apply path even on tiny pools.
+            let opts = BatchOptions::parallel(Parallelism::exact(t).with_cutoff(0));
+            let mut eng = TreapOrderCore::new(base.clone(), seed);
+            eng.enable_core_change_tracking();
+            (opts, eng)
+        })
+        .collect();
+    let mut engines = par_engines;
+
+    for (removal, edges) in batches {
+        let serial_stats = if *removal {
+            serial.remove_edges_with(edges, &serial_opts)
+        } else {
+            serial.insert_edges_with(edges, &serial_opts)
+        };
+        let mut serial_log = Vec::new();
+        let serial_tracked = serial.drain_core_changes(&mut serial_log);
+
+        for (opts, eng) in engines.iter_mut() {
+            let stats = if *removal {
+                eng.remove_edges_with(edges, opts)
+            } else {
+                eng.insert_edges_with(edges, opts)
+            };
+            assert_eq!(stats, serial_stats, "UpdateStats diverged ({opts:?})");
+            let mut log = Vec::new();
+            let tracked = eng.drain_core_changes(&mut log);
+            assert_eq!(tracked, serial_tracked);
+            // Serial apply order makes even the *order* of the change
+            // log identical, which subsumes the canonical-sort bar.
+            assert_eq!(log, serial_log, "core-change log diverged ({opts:?})");
+            assert_eq!(eng.cores(), serial.cores());
+            assert_eq!(eng.global_order(), serial.global_order());
+            eng.validate();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Insert batches on edge soups: parallel == serial, bit for bit.
+    #[test]
+    fn parallel_insert_bit_identical_on_edge_soups(
+        g in arb_graph(40, 80),
+        extra in prop::collection::vec((0u32..40, 0u32..40), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let batch: Vec<(u32, u32)> = extra.into_iter().filter(|(a, b)| a != b).collect();
+        prop_assume!(!batch.is_empty());
+        assert_parallel_bit_identical(&g, seed, &[(false, batch)]);
+    }
+
+    /// Removal batches: parallel == serial, bit for bit.
+    #[test]
+    fn parallel_remove_bit_identical_on_edge_soups(
+        g in arb_graph(40, 160),
+        pick in prop::collection::vec(any::<prop::sample::Index>(), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        prop_assume!(!edges.is_empty());
+        let batch: Vec<(u32, u32)> = pick.iter().map(|i| edges[i.index(edges.len())]).collect();
+        assert_parallel_bit_identical(&g, seed, &[(true, batch)]);
+    }
+
+    /// Preferential-attachment-flavoured graphs (hubs force deep
+    /// demotion cascades) under alternating insert/remove churn.
+    #[test]
+    fn parallel_churn_bit_identical_on_ba_graphs(
+        hub_edges in prop::collection::vec((0u32..8, 0u32..48), 20..80),
+        churn in prop::collection::vec((any::<bool>(), 0u32..48, 0u32..48), 4..40),
+        seed in any::<u64>(),
+    ) {
+        let mut g = DynamicGraph::with_vertices(48);
+        for (hub, v) in hub_edges {
+            if hub != v && !g.has_edge(hub, v) {
+                g.insert_edge_unchecked(hub, v);
+            }
+        }
+        // Split the churn into alternating insert/remove batches.
+        let mut batches: Vec<(bool, Vec<(u32, u32)>)> = Vec::new();
+        let mut probe = g.clone();
+        for chunk in churn.chunks(8) {
+            let mut ins = Vec::new();
+            let mut rem = Vec::new();
+            for &(insert, a, b) in chunk {
+                if a == b {
+                    continue;
+                }
+                if insert && !probe.has_edge(a, b) {
+                    probe.insert_edge_unchecked(a, b);
+                    ins.push((a, b));
+                } else if !insert && probe.has_edge(a, b) {
+                    probe.remove_edge(a, b).unwrap();
+                    rem.push((a, b));
+                }
+            }
+            if !ins.is_empty() {
+                batches.push((false, ins));
+            }
+            if !rem.is_empty() {
+                batches.push((true, rem));
+            }
+        }
+        prop_assume!(!batches.is_empty());
+        assert_parallel_bit_identical(&g, seed, &batches);
     }
 }

@@ -11,7 +11,12 @@ use crate::{OrderTreap, TagList};
 /// precedes `b` iff `order_key(a) < order_key(b)`. Keys may be invalidated
 /// by any mutation — `OrderInsert` only compares keys captured within a
 /// single mutation-free pass, which is exactly what this permits.
-pub trait OrderSeq {
+///
+/// `Send + Sync` is a supertrait: parallel component passes plan against
+/// a shared `&OrderCore<S>` from worker threads, reading frozen order
+/// keys concurrently. Every implementation here is plain `Vec`-backed
+/// data, so the bound is free.
+pub trait OrderSeq: Send + Sync {
     /// Creates an empty sequence; `seed` feeds any internal randomness.
     fn with_seed(seed: u64) -> Self;
 
