@@ -1,0 +1,359 @@
+//! Shard assignment and the cross-shard boundary table.
+//!
+//! A sharded deployment splits edge ownership across N per-shard engines:
+//! shard `s` stores every edge with at least one endpoint owned by `s`,
+//! so a cross-shard edge is *mirrored* into both owners' graphs — each
+//! side sees the remote endpoint's degree contribution locally, which is
+//! what keeps per-shard skip semantics (duplicate / missing / self-loop /
+//! out-of-range) bit-identical to the single-engine model.
+//!
+//! Two pieces live here, beneath the router:
+//!
+//! * [`ShardMap`] — a total, deterministic assignment of dense vertex ids
+//!   to shards. [`HashShardMap`] (default) spreads arbitrary universes via
+//!   a Fibonacci multiplicative hash; [`RangeShardMap`] carves a dense
+//!   `0..n` universe into contiguous, ±1-balanced ranges.
+//! * [`BoundaryTable`] — the set of live cross-shard edges plus the
+//!   per-vertex mirrored-degree counts and per-shard incidence tallies
+//!   the merge pass reads. [`BoundaryTable::validate`] recounts every
+//!   derived tally from the edge set and is wired into the router's
+//!   `validate()`.
+
+use crate::graph::{edge_key, key_edge, DynamicGraph, VertexId};
+use crate::hash::FxHashMap;
+
+/// Total, deterministic vertex → shard assignment.
+///
+/// `owner` must return a value `< shards()` for **every** `u32`, even ids
+/// outside the deployed universe: the router routes events before it can
+/// know whether an endpoint is in range, and out-of-range events must be
+/// routed somewhere so the owning engine can skip them exactly like the
+/// single-engine model does.
+pub trait ShardMap: Send + Sync {
+    /// Number of shards (`>= 1`).
+    fn shards(&self) -> usize;
+    /// Owning shard of `v`; always `< self.shards()`.
+    fn owner(&self, v: VertexId) -> usize;
+}
+
+/// Default assignment: Fibonacci multiplicative hash, then modulo.
+///
+/// Deterministic across runs (no per-process seed), total over `u32`,
+/// and well-spread for both random and contiguous id universes — the
+/// multiplier is the 32-bit golden-ratio constant, so consecutive ids
+/// land far apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashShardMap {
+    shards: usize,
+}
+
+impl HashShardMap {
+    /// A hash map over `shards` shards (`>= 1`).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        HashShardMap { shards }
+    }
+}
+
+impl ShardMap for HashShardMap {
+    fn shards(&self) -> usize {
+        self.shards
+    }
+
+    #[inline]
+    fn owner(&self, v: VertexId) -> usize {
+        // Fibonacci hashing: multiply by ⌊2^32/φ⌋ and keep the high bits
+        // (the well-mixed ones) before reducing modulo the shard count.
+        let h = v.wrapping_mul(0x9E37_79B9);
+        ((h >> 16) as usize) % self.shards
+    }
+}
+
+/// Contiguous range partitioning of a dense `0..n` universe.
+///
+/// Ranges are ±1-balanced by construction: the first `n % shards` shards
+/// own `⌈n/shards⌉` ids each, the rest `⌊n/shards⌋`. Ids at or past `n`
+/// fall into the last shard so the map stays total over `u32`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeShardMap {
+    /// `starts[s]` is the first id owned by shard `s`; `starts` is
+    /// strictly increasing with `starts[0] == 0`.
+    starts: Vec<VertexId>,
+}
+
+impl RangeShardMap {
+    /// Balanced ranges for the dense universe `0..n` over `shards` shards.
+    pub fn for_universe(n: usize, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(
+            n >= shards || n == 0,
+            "universe of {n} ids cannot feed {shards} non-empty ranges"
+        );
+        let base = n / shards;
+        let extra = n % shards;
+        let mut starts = Vec::with_capacity(shards);
+        let mut at = 0usize;
+        for s in 0..shards {
+            starts.push(at as VertexId);
+            at += base + usize::from(s < extra);
+        }
+        RangeShardMap { starts }
+    }
+
+    /// First id owned by shard `s`.
+    pub fn start_of(&self, s: usize) -> VertexId {
+        self.starts[s]
+    }
+}
+
+impl ShardMap for RangeShardMap {
+    fn shards(&self) -> usize {
+        self.starts.len()
+    }
+
+    #[inline]
+    fn owner(&self, v: VertexId) -> usize {
+        // Index of the last start <= v; ids past the universe end fall
+        // into the final range, keeping the map total.
+        self.starts.partition_point(|&s| s <= v) - 1
+    }
+}
+
+/// Live cross-shard edges plus the derived tallies the merge pass reads.
+///
+/// For each cross-shard edge `(u, v)` the table records the pair of
+/// owners and bumps `mirror_degree` on **both** endpoints — the count of
+/// incident edges each side mirrors from a remote shard — and the
+/// per-shard boundary-edge tallies on both owners.
+#[derive(Debug, Clone, Default)]
+pub struct BoundaryTable {
+    /// `edge_key(u, v)` → `(owner(u_min), owner(u_max))` for live
+    /// cross-shard edges (key endpoints canonically ordered `u < v`).
+    edges: FxHashMap<u64, (u32, u32)>,
+    /// Per-vertex count of incident cross-shard edges.
+    mirror_deg: Vec<u32>,
+    /// Per-shard count of incident cross-shard edges.
+    per_shard: Vec<u64>,
+}
+
+impl BoundaryTable {
+    /// An empty table for `shards` shards over `n` vertices.
+    pub fn new(shards: usize, n: usize) -> Self {
+        BoundaryTable {
+            edges: FxHashMap::default(),
+            mirror_deg: vec![0; n],
+            per_shard: vec![0; shards],
+        }
+    }
+
+    /// Number of live cross-shard edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no cross-shard edge is live.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// True when `(u, v)` is a live cross-shard edge.
+    pub fn contains(&self, u: VertexId, v: VertexId) -> bool {
+        self.edges.contains_key(&edge_key(u, v))
+    }
+
+    /// Count of cross-shard edges incident to `v` (the degree
+    /// contribution `v`'s shard mirrors from remote shards).
+    pub fn mirror_degree(&self, v: VertexId) -> u32 {
+        self.mirror_deg.get(v as usize).copied().unwrap_or(0)
+    }
+
+    /// Count of cross-shard edges incident to shard `s`.
+    pub fn shard_boundary_edges(&self, s: usize) -> u64 {
+        self.per_shard[s]
+    }
+
+    /// Records an applied cross-shard insert. `ou`/`ov` are the owners of
+    /// `u`/`v` and must differ. No-op protection is the caller's job —
+    /// the router only notes *applied* operations.
+    pub fn note(&mut self, u: VertexId, v: VertexId, ou: usize, ov: usize) {
+        debug_assert_ne!(ou, ov, "({u},{v}) is not a cross-shard edge");
+        // Store owners in the canonical (min-endpoint, max-endpoint) order
+        // that `edge_key` uses, so `validate` can re-derive them.
+        let owners = if u < v {
+            (ou as u32, ov as u32)
+        } else {
+            (ov as u32, ou as u32)
+        };
+        let prev = self.edges.insert(edge_key(u, v), owners);
+        debug_assert!(prev.is_none(), "({u},{v}) noted twice");
+        self.mirror_deg[u as usize] += 1;
+        self.mirror_deg[v as usize] += 1;
+        self.per_shard[ou] += 1;
+        self.per_shard[ov] += 1;
+    }
+
+    /// Records an applied cross-shard removal; returns whether the edge
+    /// was live.
+    pub fn forget(&mut self, u: VertexId, v: VertexId) -> bool {
+        match self.edges.remove(&edge_key(u, v)) {
+            Some((oa, ob)) => {
+                self.mirror_deg[u as usize] -= 1;
+                self.mirror_deg[v as usize] -= 1;
+                self.per_shard[oa as usize] -= 1;
+                self.per_shard[ob as usize] -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Grows the per-vertex table to cover `n` vertices.
+    pub fn grow(&mut self, n: usize) {
+        if n > self.mirror_deg.len() {
+            self.mirror_deg.resize(n, 0);
+        }
+    }
+
+    /// Invariant check: every derived tally recounted from the edge set,
+    /// every recorded owner consistent with `map`, and (when a union
+    /// graph is supplied) the edge set exactly the cross-shard subset of
+    /// the live graph.
+    pub fn validate(&self, map: &dyn ShardMap, union: Option<&DynamicGraph>) -> Result<(), String> {
+        if self.per_shard.len() != map.shards() {
+            return Err(format!(
+                "table built for {} shards, map has {}",
+                self.per_shard.len(),
+                map.shards()
+            ));
+        }
+        let mut mirror = vec![0u32; self.mirror_deg.len()];
+        let mut per_shard = vec![0u64; self.per_shard.len()];
+        for (&key, &(oa, ob)) in &self.edges {
+            let (a, b) = key_edge(key);
+            if a >= b {
+                return Err(format!("non-canonical boundary key ({a},{b})"));
+            }
+            let (ma, mb) = (map.owner(a), map.owner(b));
+            if ma == mb {
+                return Err(format!("({a},{b}) recorded but both owned by shard {ma}"));
+            }
+            if (ma as u32, mb as u32) != (oa, ob) {
+                return Err(format!(
+                    "({a},{b}) records owners ({oa},{ob}), map says ({ma},{mb})"
+                ));
+            }
+            mirror[a as usize] += 1;
+            mirror[b as usize] += 1;
+            per_shard[ma] += 1;
+            per_shard[mb] += 1;
+        }
+        if mirror != self.mirror_deg {
+            return Err("mirror-degree counts diverge from the edge set".into());
+        }
+        if per_shard != self.per_shard {
+            return Err("per-shard tallies diverge from the edge set".into());
+        }
+        if let Some(g) = union {
+            let mut live = 0usize;
+            for (u, v) in g.edges() {
+                if map.owner(u) != map.owner(v) {
+                    live += 1;
+                    if !self.contains(u, v) {
+                        return Err(format!("live cross-shard edge ({u},{v}) missing"));
+                    }
+                }
+            }
+            if live != self.edges.len() {
+                return Err(format!(
+                    "table holds {} edges, graph has {} cross-shard edges",
+                    self.edges.len(),
+                    live
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_map_is_total_and_deterministic() {
+        let m = HashShardMap::new(4);
+        assert_eq!(m.shards(), 4);
+        for v in [0u32, 1, 17, 1024, u32::MAX] {
+            let o = m.owner(v);
+            assert!(o < 4);
+            assert_eq!(o, m.owner(v));
+        }
+    }
+
+    #[test]
+    fn hash_map_balances_contiguous_universe() {
+        let m = HashShardMap::new(4);
+        let mut loads = [0usize; 4];
+        let n = 4096;
+        for v in 0..n as u32 {
+            loads[m.owner(v)] += 1;
+        }
+        let avg = n / 4;
+        for (s, &l) in loads.iter().enumerate() {
+            assert!(
+                l > avg / 2 && l < avg * 2,
+                "shard {s} holds {l} of {n} ids (avg {avg})"
+            );
+        }
+    }
+
+    #[test]
+    fn range_map_is_balanced_by_construction() {
+        for (n, shards) in [(10usize, 3usize), (4, 4), (1000, 7), (8, 1)] {
+            let m = RangeShardMap::for_universe(n, shards);
+            let mut loads = vec![0usize; shards];
+            for v in 0..n as u32 {
+                loads[m.owner(v)] += 1;
+            }
+            let (lo, hi) = (n / shards, n.div_ceil(shards));
+            for &l in &loads {
+                assert!(l == lo || l == hi, "range load {l} outside [{lo},{hi}]");
+            }
+            // Total past the universe end: last shard absorbs.
+            assert_eq!(m.owner(u32::MAX), shards - 1);
+        }
+    }
+
+    #[test]
+    fn boundary_table_tracks_mirror_degrees() {
+        let map = RangeShardMap::for_universe(6, 2); // 0..3 | 3..6
+        let mut t = BoundaryTable::new(2, 6);
+        t.note(1, 4, map.owner(1), map.owner(4));
+        t.note(5, 2, map.owner(5), map.owner(2));
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(4, 1));
+        assert_eq!(t.mirror_degree(1), 1);
+        assert_eq!(t.mirror_degree(2), 1);
+        assert_eq!(t.shard_boundary_edges(0), 2);
+        assert_eq!(t.shard_boundary_edges(1), 2);
+        t.validate(&map, None).unwrap();
+        assert!(t.forget(1, 4));
+        assert!(!t.forget(1, 4));
+        assert_eq!(t.mirror_degree(1), 0);
+        t.validate(&map, None).unwrap();
+    }
+
+    #[test]
+    fn boundary_validate_checks_against_union_graph() {
+        let map = RangeShardMap::for_universe(4, 2);
+        let mut g = DynamicGraph::with_vertices(4);
+        g.insert_edge(0, 1).unwrap(); // local to shard 0
+        g.insert_edge(1, 2).unwrap(); // cross
+        let mut t = BoundaryTable::new(2, 4);
+        t.note(1, 2, 0, 1);
+        t.validate(&map, Some(&g)).unwrap();
+        // A stale entry the graph no longer holds must be caught.
+        t.note(0, 3, 0, 1);
+        assert!(t.validate(&map, Some(&g)).is_err());
+    }
+}

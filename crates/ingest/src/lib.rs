@@ -60,11 +60,12 @@
 pub mod chunked;
 pub mod durability;
 pub mod faults;
+pub mod router;
 pub mod service;
 pub mod snapshot;
 pub mod sources;
 
-pub use chunked::{ChunkedCores, CoreMirror, CHUNK};
+pub use chunked::{ChunkedCores, CoreMetrics, CoreMirror, MetricMirror, CHUNK};
 pub use durability::{
     persist_index_snapshot, read_journal, recover, snapshot_generation_path, DurabilityConfig,
     JournalContents, JournalSink, RecoverError, Recovered, RecoveryReport, RecoveryRung,
@@ -73,6 +74,7 @@ pub use faults::{
     FaultKind, FaultPlan, FlakyEngine, FlakyProbe, JournalIo, OpClass, StorageHandle,
 };
 pub use kcore_maint::journal::GraphEvent;
+pub use router::{MergedHandle, MergedSnapshot, RouterStats, ShardRouter};
 pub use service::{
     ClockMode, IngestConfig, IngestEngine, IngestError, IngestPause, IngestReport, IngestService,
     RecoveryPolicy, RetryBudget, ServiceHealth,

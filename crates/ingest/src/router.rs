@@ -1,0 +1,589 @@
+//! Sharded multi-engine ingest: the [`ShardRouter`] fans [`GraphEvent`]s
+//! out to N per-shard [`IngestService`] writers and merges their epochs
+//! into one consistent global cut, a [`MergedSnapshot`].
+//!
+//! ## Layout
+//!
+//! Vertex ownership comes from a [`ShardMap`]. Every shard's
+//! [`DynamicGraph`] spans the full vertex universe but holds only the
+//! edges with at least one owned endpoint — a cross-shard edge is
+//! mirrored into *both* owners' graphs, so each side sees the remote
+//! endpoint's degree contribution and per-shard skip semantics stay
+//! bit-identical to the single-engine model
+//! ([`crate::sources::apply_events`]).
+//! The live cross-shard edge set, with per-vertex mirror degrees, sits
+//! in a [`BoundaryTable`].
+//!
+//! ## Routing and backpressure
+//!
+//! Each shard writer keeps its own bounded queue. A local event goes to
+//! its one owner; a cross-shard event goes to both owners, lower shard
+//! id first. [`ShardRouter::try_submit`] surfaces `QueueFull` from the
+//! *first* leg before anything is enqueued, so an event is never half
+//! routed; the mirror leg then blocks (safe: every writer drains
+//! independently). Per-shard queues mean one slow shard back-pressures
+//! only the traffic that touches it.
+//!
+//! ## The merged cut
+//!
+//! [`ShardRouter::merged_cut`] flushes every shard (a barrier: each
+//! per-shard snapshot then covers everything routed to it, so the set
+//! of per-shard snapshots is one consistent prefix of the global
+//! stream), replays the window's events onto the router's union graph
+//! under the shared skip semantics, and repairs the global core array
+//! with the cross-shard boundary pass
+//! ([`kcore_maint::boundary::BoundaryRepair`]) — promotion/dismissal
+//! work whose seed component spans shards exchanges frontier vertices
+//! between per-shard queues until fixpoint. The repaired cores live in
+//! a [`CoreMirror`], so publication is `O(changed)` chunk COW;
+//! the [`MergedSnapshot`] holds the per-shard [`CoreSnapshot`]s by
+//! `Arc` — nothing copies a shard's chunked core array.
+//!
+//! Merged epochs are the router's own counter: unlike per-shard epochs
+//! (which restart at zero when a crashed shard is respawned), the
+//! merged epoch is monotone across shard recovery, and the per-shard
+//! epochs reported in the snapshot are rebased
+//! ([`MergedSnapshot::shard_epochs`]) to stay monotone too.
+
+use crate::chunked::{ChunkedCores, CoreMirror};
+use crate::durability::{recover, RecoverError, RecoveryReport};
+use crate::service::{IngestConfig, IngestError, IngestReport, IngestService};
+use crate::snapshot::CoreSnapshot;
+use kcore_decomp::core_decomposition;
+use kcore_graph::{BoundaryTable, DynamicGraph, ShardMap, VertexId};
+use kcore_maint::boundary::{BoundaryPassStats, BoundaryRepair};
+use kcore_maint::journal::GraphEvent;
+use kcore_maint::PlannedCore;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// One consistent cross-shard view: global cores (exact for the union
+/// graph over the covered prefix) plus the per-shard snapshots it was
+/// merged from, held by reference.
+#[derive(Debug, Clone)]
+pub struct MergedSnapshot {
+    /// Router cut counter — strictly increasing, monotone across
+    /// per-shard crash recovery (unlike raw per-shard epochs).
+    pub epoch: u64,
+    /// Events covered: exactly the first `ops` events submitted to the
+    /// router, applied in order.
+    pub ops: u64,
+    /// Vertex-universe size.
+    pub num_vertices: usize,
+    /// Live edges in the union graph (each cross-shard edge counted
+    /// once).
+    pub num_edges: usize,
+    /// Global core number per vertex — chunk-shared with neighbouring
+    /// cuts (COW), never a copy of any per-shard array.
+    pub cores: ChunkedCores,
+    /// `histogram[k]` = vertices with global core exactly `k`.
+    pub histogram: Vec<usize>,
+    /// Largest `k` with a non-empty global k-core.
+    pub degeneracy: u32,
+    /// Rebased per-shard epochs at this cut: monotone per shard even
+    /// across a recovery swap.
+    pub shard_epochs: Vec<u64>,
+    /// The per-shard snapshots this cut merged (`Arc`-shared with each
+    /// shard's own readers; their chunked cores are not copied).
+    pub shards: Vec<Arc<CoreSnapshot>>,
+    /// Live cross-shard edges at this cut.
+    pub boundary_edges: usize,
+    /// Boundary-repair counters for this cut's window.
+    pub repair: BoundaryPassStats,
+}
+
+impl MergedSnapshot {
+    /// Global core number of `v`.
+    pub fn core(&self, v: VertexId) -> u32 {
+        self.cores.get(v as usize)
+    }
+
+    /// Vertices in the global `k`-core.
+    pub fn kcore_members(&self, k: u32) -> Vec<VertexId> {
+        self.cores
+            .iter()
+            .enumerate()
+            .filter(|&(_, c)| c >= k)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+
+    /// `v`'s core number within shard `s`'s own subgraph — a lower
+    /// bound on [`MergedSnapshot::core`].
+    pub fn shard_core(&self, s: usize, v: VertexId) -> u32 {
+        self.shards[s].core(v)
+    }
+}
+
+/// Cheap cloneable reader handle to the latest merged cut.
+#[derive(Clone)]
+pub struct MergedHandle {
+    latest: Arc<Mutex<Arc<MergedSnapshot>>>,
+}
+
+impl MergedHandle {
+    /// The latest published cut (lock-held only for the `Arc` clone).
+    pub fn load(&self) -> Arc<MergedSnapshot> {
+        self.latest.lock().unwrap().clone()
+    }
+}
+
+/// Cumulative router counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RouterStats {
+    /// Merged cuts published (excluding the spawn-time cut 0).
+    pub cuts: u64,
+    /// Events routed (each event once, however many legs it took).
+    pub events: u64,
+    /// Events whose endpoints were owned by different shards (routed to
+    /// both).
+    pub cross_shard_events: u64,
+    /// Boundary-pass counters accumulated over every cut
+    /// (`boundary_exchanges` sums; `rounds` keeps the per-cut max).
+    pub repair: BoundaryPassStats,
+}
+
+struct ShardSlot {
+    /// `None` only between `abort_shard` and `recover_shard`.
+    svc: Option<IngestService<PlannedCore>>,
+    cfg: IngestConfig,
+    /// Every event routed to this shard since spawn, in order — the
+    /// shard's journal-equivalent, used to re-submit the undurable tail
+    /// after a crash recovery.
+    routed: Vec<GraphEvent>,
+    /// Added to the live service's epochs so the reported per-shard
+    /// epoch stays monotone across recovery swaps.
+    epoch_base: u64,
+    /// Last rebased epoch reported at a cut.
+    last_epoch: u64,
+}
+
+/// Fans events to per-shard [`IngestService`]s and merges their epochs
+/// into consistent global cuts. See the module docs for the protocol.
+pub struct ShardRouter {
+    map: Arc<dyn ShardMap>,
+    slots: Vec<ShardSlot>,
+    /// The union graph at the last cut (all shards' edges, each once).
+    union: DynamicGraph,
+    /// Events submitted since the last cut, in order.
+    window: Vec<GraphEvent>,
+    boundary: BoundaryTable,
+    repair: BoundaryRepair,
+    /// Exact global cores at the last cut.
+    cores: Vec<u32>,
+    mirror: CoreMirror,
+    epoch: u64,
+    ops: u64,
+    seed: u64,
+    handle: MergedHandle,
+    stats: RouterStats,
+}
+
+impl ShardRouter {
+    /// Spawns one in-memory writer per shard of `map` over `base`.
+    /// Durability must go through [`ShardRouter::spawn_with`] (each
+    /// shard needs its own journal directory).
+    pub fn spawn(
+        base: DynamicGraph,
+        map: Arc<dyn ShardMap>,
+        seed: u64,
+        cfg: IngestConfig,
+    ) -> io::Result<Self> {
+        if cfg.durability.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "shards cannot share one durability directory; use spawn_with \
+                 to give each shard its own",
+            ));
+        }
+        Self::spawn_with(base, map, seed, |_| cfg.clone())
+    }
+
+    /// Spawns one writer per shard, with `mk_cfg(shard)` supplying each
+    /// shard's config (point each shard's durability, if any, at its
+    /// own directory).
+    pub fn spawn_with(
+        base: DynamicGraph,
+        map: Arc<dyn ShardMap>,
+        seed: u64,
+        mut mk_cfg: impl FnMut(usize) -> IngestConfig,
+    ) -> io::Result<Self> {
+        let shards = map.shards();
+        assert!(shards >= 1, "need at least one shard");
+        let n = base.num_vertices();
+        let mut boundary = BoundaryTable::new(shards, n);
+        let mut shard_graphs: Vec<DynamicGraph> = (0..shards)
+            .map(|_| DynamicGraph::with_vertices(n))
+            .collect();
+        for (u, v) in base.edges() {
+            let (ou, ov) = (map.owner(u), map.owner(v));
+            shard_graphs[ou].insert_edge_unchecked(u, v);
+            if ou != ov {
+                shard_graphs[ov].insert_edge_unchecked(u, v);
+                boundary.note(u, v, ou, ov);
+            }
+        }
+        let mut slots = Vec::with_capacity(shards);
+        for (s, g) in shard_graphs.into_iter().enumerate() {
+            let cfg = mk_cfg(s);
+            let svc = IngestService::spawn_planned(g, seed.wrapping_add(s as u64), cfg.clone())?;
+            slots.push(ShardSlot {
+                svc: Some(svc),
+                cfg,
+                routed: Vec::new(),
+                epoch_base: 0,
+                last_epoch: 0,
+            });
+        }
+        let cores = core_decomposition(&base);
+        let mirror = CoreMirror::from_slice(&cores);
+        let shard_snaps: Vec<Arc<CoreSnapshot>> = slots
+            .iter()
+            .map(|s| s.svc.as_ref().unwrap().snapshots().load())
+            .collect();
+        let cut0 = Arc::new(MergedSnapshot {
+            epoch: 0,
+            ops: 0,
+            num_vertices: n,
+            num_edges: base.num_edges(),
+            cores: mirror.snapshot_cores(),
+            histogram: mirror.histogram(),
+            degeneracy: mirror.degeneracy(),
+            shard_epochs: vec![0; shards],
+            shards: shard_snaps,
+            boundary_edges: boundary.len(),
+            repair: BoundaryPassStats::default(),
+        });
+        Ok(ShardRouter {
+            map,
+            slots,
+            union: base,
+            window: Vec::new(),
+            boundary,
+            repair: BoundaryRepair::new(),
+            cores,
+            mirror,
+            epoch: 0,
+            ops: 0,
+            seed,
+            handle: MergedHandle {
+                latest: Arc::new(Mutex::new(cut0)),
+            },
+            stats: RouterStats::default(),
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The shard map.
+    pub fn map(&self) -> &dyn ShardMap {
+        &*self.map
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Reader handle to the latest merged cut (cloneable, cross-thread).
+    pub fn subscribe(&self) -> MergedHandle {
+        self.handle.clone()
+    }
+
+    fn endpoints(e: GraphEvent) -> (VertexId, VertexId) {
+        match e {
+            GraphEvent::EdgeInserted(u, v) | GraphEvent::EdgeRemoved(u, v) => (u, v),
+        }
+    }
+
+    fn svc(&self, s: usize) -> Result<&IngestService<PlannedCore>, IngestError> {
+        self.slots[s].svc.as_ref().ok_or(IngestError::Closed)
+    }
+
+    fn note_routed(&mut self, e: GraphEvent, lo: usize, hi: usize) {
+        self.slots[lo].routed.push(e);
+        if hi != lo {
+            self.slots[hi].routed.push(e);
+            self.stats.cross_shard_events += 1;
+        }
+        self.stats.events += 1;
+        self.window.push(e);
+    }
+
+    /// Delivers one leg to shard `s`. A down shard (crashed and not yet
+    /// recovered) accepts silently: the event is already parked in its
+    /// routed log, and [`ShardRouter::recover_shard`] replays it. A
+    /// writer found dead mid-send is marked down the same way.
+    fn leg(&mut self, s: usize, e: GraphEvent, blocking: bool) -> Result<(), IngestError> {
+        let Some(svc) = self.slots[s].svc.as_ref() else {
+            return Ok(()); // parked for recovery replay
+        };
+        let res = if blocking {
+            svc.submit(e)
+        } else {
+            svc.try_submit(e)
+        };
+        match res {
+            Ok(()) => Ok(()),
+            Err(IngestError::Closed) => {
+                // The writer died out from under us; park this and all
+                // further traffic until the shard is recovered.
+                self.slots[s].svc = None;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Non-blocking on the first leg: `QueueFull` from the (lower-id)
+    /// owner rejects the event before anything is enqueued, so no event
+    /// is ever half routed. The mirror leg of a cross-shard event then
+    /// blocks — safe, because every shard's writer drains independently.
+    pub fn try_submit(&mut self, e: GraphEvent) -> Result<(), IngestError> {
+        let (u, v) = Self::endpoints(e);
+        let (a, b) = (self.map.owner(u), self.map.owner(v));
+        let (lo, hi) = (a.min(b), a.max(b));
+        self.leg(lo, e, false)?;
+        if hi != lo {
+            self.leg(hi, e, true)?;
+        }
+        self.note_routed(e, lo, hi);
+        Ok(())
+    }
+
+    /// Blocking submit to every owning shard, lower shard id first.
+    pub fn submit(&mut self, e: GraphEvent) -> Result<(), IngestError> {
+        let (u, v) = Self::endpoints(e);
+        let (a, b) = (self.map.owner(u), self.map.owner(v));
+        let (lo, hi) = (a.min(b), a.max(b));
+        self.leg(lo, e, true)?;
+        if hi != lo {
+            self.leg(hi, e, true)?;
+        }
+        self.note_routed(e, lo, hi);
+        Ok(())
+    }
+
+    /// Advances every live shard's scripted clock.
+    pub fn tick(&self, now_ns: u64) -> Result<(), IngestError> {
+        for slot in &self.slots {
+            if let Some(svc) = slot.svc.as_ref() {
+                svc.tick(now_ns)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Cuts and publishes one consistent cross-shard snapshot covering
+    /// every event submitted so far. A barrier: flushes all shards,
+    /// then runs the boundary repair over the cut's event window.
+    pub fn merged_cut(&mut self) -> Result<Arc<MergedSnapshot>, IngestError> {
+        // Barrier: after these flushes every per-shard snapshot covers
+        // exactly the events routed to it — one consistent prefix.
+        let mut shard_snaps = Vec::with_capacity(self.slots.len());
+        for s in 0..self.slots.len() {
+            let snap = self.svc(s)?.flush()?;
+            debug_assert_eq!(
+                snap.ops,
+                self.slots[s].routed.len() as u64,
+                "shard {s} snapshot does not cover its routed prefix"
+            );
+            shard_snaps.push(snap);
+        }
+
+        // Replay the window onto the union graph under the shared skip
+        // semantics (`sources::apply_events` is the model), collecting
+        // the *net* edge delta for the repair seed and keeping the
+        // boundary table in step with applied cross-shard operations.
+        let n = self.union.num_vertices();
+        let mut net: kcore_graph::FxHashMap<u64, bool> = kcore_graph::FxHashMap::default();
+        for &e in &self.window {
+            match e {
+                GraphEvent::EdgeInserted(u, v) => {
+                    if u != v && (u as usize) < n && (v as usize) < n && !self.union.has_edge(u, v)
+                    {
+                        self.union.insert_edge_unchecked(u, v);
+                        let key = kcore_graph::edge_key(u, v);
+                        if net.remove(&key).is_none() {
+                            net.insert(key, true);
+                        }
+                        let (ou, ov) = (self.map.owner(u), self.map.owner(v));
+                        if ou != ov {
+                            self.boundary.note(u, v, ou, ov);
+                        }
+                    }
+                }
+                GraphEvent::EdgeRemoved(u, v) => {
+                    if (u as usize) < n && (v as usize) < n && self.union.remove_edge(u, v).is_ok()
+                    {
+                        let key = kcore_graph::edge_key(u, v);
+                        if net.remove(&key).is_none() {
+                            net.insert(key, false);
+                        }
+                        self.boundary.forget(u, v);
+                    }
+                }
+            }
+        }
+        let mut inserts: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut removes: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut keys: Vec<(u64, bool)> = net.into_iter().collect();
+        keys.sort_unstable();
+        for (key, inserted) in keys {
+            let (u, v) = kcore_graph::key_edge(key);
+            if inserted {
+                inserts.push((u, v));
+            } else {
+                removes.push((u, v));
+            }
+        }
+
+        // Cross-shard boundary repair: exact global cores for the
+        // post-window union graph, O(affected region), with frontier
+        // exchange between shards counted in the stats.
+        let mut changes = Vec::new();
+        let pass = self.repair.repair(
+            &self.union,
+            &*self.map,
+            &mut self.cores,
+            &inserts,
+            &removes,
+            &mut changes,
+        );
+        for &(v, _, new) in &changes {
+            self.mirror.apply(v, new);
+        }
+        debug_assert_eq!(self.mirror.snapshot_cores().to_vec(), self.cores);
+
+        self.epoch += 1;
+        self.ops += self.window.len() as u64;
+        self.window.clear();
+        self.stats.cuts += 1;
+        self.stats.repair.absorb(pass);
+
+        let mut shard_epochs = Vec::with_capacity(self.slots.len());
+        for (slot, snap) in self.slots.iter_mut().zip(&shard_snaps) {
+            slot.last_epoch = slot.epoch_base + snap.epoch;
+            shard_epochs.push(slot.last_epoch);
+        }
+        let merged = Arc::new(MergedSnapshot {
+            epoch: self.epoch,
+            ops: self.ops,
+            num_vertices: n,
+            num_edges: self.union.num_edges(),
+            cores: self.mirror.snapshot_cores(),
+            histogram: self.mirror.histogram(),
+            degeneracy: self.mirror.degeneracy(),
+            shard_epochs,
+            shards: shard_snaps,
+            boundary_edges: self.boundary.len(),
+            repair: pass,
+        });
+        *self.handle.latest.lock().unwrap() = merged.clone();
+        Ok(merged)
+    }
+
+    /// Crash-sims shard `s`: kills its writer thread mid-flight without
+    /// flushing (the per-shard journal keeps whatever was shipped). The
+    /// shard stays down — submissions touching it fail `Closed` — until
+    /// [`ShardRouter::recover_shard`].
+    pub fn abort_shard(&mut self, s: usize) {
+        if let Some(svc) = self.slots[s].svc.take() {
+            svc.abort();
+        }
+    }
+
+    /// Recovers shard `s` through the durability ladder (journal +
+    /// snapshot generations), re-submits the undurable tail of the
+    /// events the router routed to it, and swaps the rebuilt writer in.
+    /// The shard's reported epochs stay monotone across the swap
+    /// (rebased), and the next [`ShardRouter::merged_cut`] is again
+    /// consistent over the full submitted prefix.
+    pub fn recover_shard(&mut self, s: usize) -> io::Result<RecoveryReport> {
+        if let Some(svc) = self.slots[s].svc.take() {
+            // Recovering a live shard: take it down first, abruptly (the
+            // point of the exercise is the crash path).
+            svc.abort();
+        }
+        let slot = &mut self.slots[s];
+        let d = slot.cfg.durability.clone().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("shard {s} has no durability configured; nothing to recover from"),
+            )
+        })?;
+        let rec = recover(
+            &d,
+            self.seed.wrapping_add(s as u64),
+            slot.cfg.planner.clone(),
+            slot.cfg.max_batch.max(1),
+        )
+        .map_err(|e| match e {
+            RecoverError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        })?;
+        let report = rec.report.clone();
+        let durable = rec.report.durable_ops as usize;
+        debug_assert!(durable <= slot.routed.len());
+        let svc = IngestService::spawn_recovered(rec, slot.cfg.clone())?;
+        for &e in &slot.routed[durable.min(slot.routed.len())..] {
+            svc.submit(e)
+                .map_err(|e| io::Error::new(io::ErrorKind::BrokenPipe, e.to_string()))?;
+        }
+        // Rebase so `epoch_base + fresh epochs` continues past the last
+        // epoch this shard ever reported.
+        slot.epoch_base = slot.last_epoch;
+        slot.svc = Some(svc);
+        Ok(report)
+    }
+
+    /// Invariant check (tests): boundary table consistent with the map
+    /// and the union graph, the mirror bit-identical to the repaired
+    /// cores, and — when no window is pending — every shard-local core
+    /// a lower bound on the merged one.
+    pub fn validate(&self) -> Result<(), String> {
+        self.boundary.validate(&*self.map, Some(&self.union))?;
+        if self.mirror.snapshot_cores().to_vec() != self.cores {
+            return Err("publication mirror diverged from repaired cores".into());
+        }
+        if self.window.is_empty() {
+            let merged = self.handle.load();
+            for (s, slot) in self.slots.iter().enumerate() {
+                let Some(svc) = slot.svc.as_ref() else {
+                    continue;
+                };
+                let snap = svc.snapshots().load();
+                if snap.ops != slot.routed.len() as u64 {
+                    continue; // shard has unflushed work; skip the bound
+                }
+                for v in 0..self.cores.len() as VertexId {
+                    if snap.core(v) > merged.core(v) {
+                        return Err(format!(
+                            "shard {s} core({v}) = {} exceeds merged {}",
+                            snap.core(v),
+                            merged.core(v)
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Shuts every shard down gracefully; returns the merged report
+    /// ([`IngestReport::merge`]) plus each shard's own report and
+    /// engine.
+    pub fn shutdown(mut self) -> (IngestReport, Vec<(IngestReport, PlannedCore)>) {
+        let mut per_shard = Vec::with_capacity(self.slots.len());
+        for slot in &mut self.slots {
+            if let Some(svc) = slot.svc.take() {
+                per_shard.push(svc.shutdown());
+            }
+        }
+        let reports: Vec<IngestReport> = per_shard.iter().map(|(r, _)| r.clone()).collect();
+        (IngestReport::merge(&reports), per_shard)
+    }
+}

@@ -43,7 +43,7 @@
 //! not the engine. Only when every rung of the recovery ladder is
 //! exhausted does the service park in `Failed`, still serving reads.
 
-use crate::chunked::CoreMirror;
+use crate::chunked::{CoreMirror, MetricMirror};
 use crate::durability::{
     persist_index_snapshot, recover, DurabilityConfig, JournalSink, Recovered,
 };
@@ -101,6 +101,15 @@ pub trait IngestEngine: CoreMaintainer + Send + 'static {
     fn adopt_recovered(&mut self, _rec: Recovered) -> bool {
         false
     }
+
+    /// The engine's `deg⁺` and `mcd` arrays, when it maintains them —
+    /// feeds the opt-in [`crate::chunked::MetricMirror`] publication
+    /// ([`IngestConfig::publish_metrics`]). `&mut` because order-based
+    /// engines may refresh a deferred index first. `None` (the default)
+    /// publishes no metrics.
+    fn metric_slices(&mut self) -> Option<(&[u32], &[u32])> {
+        None
+    }
 }
 
 impl IngestEngine for PlannedCore {
@@ -128,6 +137,10 @@ impl IngestEngine for PlannedCore {
         self.set_parallelism(par);
         true
     }
+
+    fn metric_slices(&mut self) -> Option<(&[u32], &[u32])> {
+        Some(PlannedCore::metric_slices(self))
+    }
 }
 
 impl IngestEngine for TreapOrderCore {
@@ -142,6 +155,10 @@ impl IngestEngine for TreapOrderCore {
 
     fn persist_index(&mut self, out: &mut dyn io::Write) -> io::Result<()> {
         self.save(out)
+    }
+
+    fn metric_slices(&mut self) -> Option<(&[u32], &[u32])> {
+        Some((self.deg_plus_slice(), self.mcd_slice()))
     }
 }
 
@@ -315,6 +332,11 @@ pub struct IngestConfig {
     /// writer parks in [`ServiceHealth::Failed`] and keeps serving
     /// reads instead of dying.
     pub recovery: Option<RecoveryPolicy>,
+    /// Publish the engine's `deg⁺`/`mcd` arrays with every snapshot
+    /// (chunked, COW-shared across epochs). Off by default: keeping
+    /// them costs a chunk-compare per flush, and on a planner engine a
+    /// deferred k-order rebuild per flush that touched the order.
+    pub publish_metrics: bool,
 }
 
 impl Default for IngestConfig {
@@ -329,6 +351,7 @@ impl Default for IngestConfig {
             planner: PlannerConfig::default(),
             parallelism: None,
             recovery: None,
+            publish_metrics: false,
         }
     }
 }
@@ -377,6 +400,12 @@ impl IngestConfig {
     /// Enables thread-parallel maintenance in spawned engines.
     pub fn parallel(mut self, par: Parallelism) -> Self {
         self.parallelism = Some(par);
+        self
+    }
+
+    /// Publishes `deg⁺`/`mcd` metric mirrors with every snapshot.
+    pub fn publish_metrics(mut self, on: bool) -> Self {
+        self.publish_metrics = on;
         self
     }
 }
@@ -462,6 +491,57 @@ pub struct IngestReport {
     pub events_lost: u64,
     /// Health at shutdown.
     pub final_health: ServiceHealth,
+}
+
+impl IngestReport {
+    /// Aggregates the per-writer reports of a multi-writer deployment
+    /// (one per shard) into one: counters sum, engine stats absorb,
+    /// health takes the worst, and the latency rings merge
+    /// percentile-safely — a rank-uniform subsample of the sorted
+    /// union, capped at [`LATENCY_SAMPLE_CAP`], so no writer's tail
+    /// disappears and no writer's volume drowns another's percentiles
+    /// by more than its event share.
+    pub fn merge(reports: &[IngestReport]) -> IngestReport {
+        fn merge_samples<'a>(parts: impl Iterator<Item = &'a Vec<u64>>) -> Vec<u64> {
+            let mut all: Vec<u64> = parts.flatten().copied().collect();
+            all.sort_unstable();
+            if all.len() > LATENCY_SAMPLE_CAP {
+                // Evenly spaced ranks of the sorted union: quantiles of
+                // the subsample track quantiles of the union.
+                let stride = all.len() as f64 / LATENCY_SAMPLE_CAP as f64;
+                all = (0..LATENCY_SAMPLE_CAP)
+                    .map(|i| all[(i as f64 * stride) as usize])
+                    .collect();
+            }
+            all
+        }
+        let mut out = IngestReport::default();
+        for r in reports {
+            out.events += r.events;
+            out.batches += r.batches;
+            out.update_stats.absorb(r.update_stats);
+            out.epochs_published += r.epochs_published;
+            out.entries_shipped += r.entries_shipped;
+            out.snapshots_persisted += r.snapshots_persisted;
+            out.chunks_copied += r.chunks_copied;
+            out.mirror_chunks += r.mirror_chunks;
+            out.tracked_drains += r.tracked_drains;
+            out.full_syncs += r.full_syncs;
+            out.engine_panics += r.engine_panics;
+            out.recoveries += r.recoveries;
+            out.recovery_retries += r.recovery_retries;
+            out.recovery_failures += r.recovery_failures;
+            out.journal_ship_failures += r.journal_ship_failures;
+            out.checkpoint_failures += r.checkpoint_failures;
+            out.events_lost += r.events_lost;
+            if r.final_health as u8 > out.final_health as u8 {
+                out.final_health = r.final_health;
+            }
+        }
+        out.batch_apply_ns = merge_samples(reports.iter().map(|r| &r.batch_apply_ns));
+        out.publish_ns = merge_samples(reports.iter().map(|r| &r.publish_ns));
+        out
+    }
 }
 
 /// Retained per-flush latency samples (ring of the most recent; sample
@@ -566,6 +646,13 @@ impl<M: IngestEngine> IngestService<M> {
         // back to a chunk-compare sync per flush.
         let tracking = engine.enable_core_change_tracking();
         let mirror = CoreMirror::from_slice(engine.core_slice());
+        let metrics = if cfg.publish_metrics {
+            engine
+                .metric_slices()
+                .map(|(dp, mcd)| MetricMirror::from_slices(dp, mcd))
+        } else {
+            None
+        };
         let journaled = Journaled::with_start_seq(engine, start_seq);
         let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
         let health = Arc::new(AtomicU8::new(ServiceHealth::Healthy as u8));
@@ -585,6 +672,7 @@ impl<M: IngestEngine> IngestService<M> {
             subscribers: Vec::new(),
             mirror,
             tracking,
+            metrics,
             change_buf: Vec::new(),
             health: health.clone(),
             unshipped: Vec::new(),
@@ -805,6 +893,8 @@ struct Writer<M: IngestEngine> {
     mirror: CoreMirror,
     /// Whether the engine records core changes for us.
     tracking: bool,
+    /// Opt-in `deg⁺`/`mcd` mirrors, synced per flush by chunk-compare.
+    metrics: Option<MetricMirror>,
     /// Reused drain buffer (no steady-state allocation per flush).
     change_buf: Vec<VertexId>,
     /// Shared with [`IngestService::health`].
@@ -881,6 +971,7 @@ impl<M: IngestEngine> Writer<M> {
             histogram: self.mirror.histogram(),
             degeneracy: self.mirror.degeneracy(),
             published_at_ns: self.now(),
+            metrics: self.metrics.as_ref().map(|m| Arc::new(m.snapshot())),
         }
     }
 
@@ -910,6 +1001,13 @@ impl<M: IngestEngine> Writer<M> {
             self.report.chunks_copied += copied as u64;
         }
         self.change_buf = buf;
+        if let Some(metrics) = &mut self.metrics {
+            // No change tracking exists for these arrays — always the
+            // chunk-compare path; copies still price out as the diff.
+            if let Some((dp, mcd)) = self.engine.engine_mut().metric_slices() {
+                self.report.chunks_copied += metrics.sync_full(dp, mcd) as u64;
+            }
+        }
         debug_assert!(
             self.mirror.snapshot_cores().to_vec() == self.engine.engine().core_slice(),
             "mirror diverged from the engine"

@@ -23,7 +23,7 @@
 //!   slot — a reader's lock on the active slot is uncontended in
 //!   steady state, so loads never wait on the writer's batch work.
 
-use crate::chunked::ChunkedCores;
+use crate::chunked::{ChunkedCores, CoreMetrics};
 use kcore_graph::VertexId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -55,6 +55,12 @@ pub struct CoreSnapshot {
     /// Publication time (writer-clock nanoseconds: wall elapsed, or the
     /// scripted clock's value — the staleness metric of the bench).
     pub published_at_ns: u64,
+    /// Order-index maintenance metrics (`deg⁺`/`mcd`), published only
+    /// when [`crate::IngestConfig::publish_metrics`] opted in — chunked
+    /// and COW-shared like [`CoreSnapshot::cores`], so the sharded
+    /// boundary-table repair reads them snapshot-visible without the
+    /// writer copying either array per epoch.
+    pub metrics: Option<Arc<CoreMetrics>>,
 }
 
 impl CoreSnapshot {
@@ -182,6 +188,7 @@ mod tests {
             histogram,
             degeneracy,
             published_at_ns: 0,
+            metrics: None,
         }
     }
 

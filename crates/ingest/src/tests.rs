@@ -545,3 +545,120 @@ fn recovery_preserves_writer_parallelism() {
     assert_eq!(engine.planner().threads(), 2);
     assert_eq!(engine.cores(), &expected[..]);
 }
+
+#[test]
+fn report_merge_sums_counters_and_takes_worst_health() {
+    use crate::service::{IngestReport, ServiceHealth};
+    let mut a = IngestReport {
+        events: 10,
+        batches: 3,
+        epochs_published: 3,
+        entries_shipped: 10,
+        snapshots_persisted: 1,
+        chunks_copied: 4,
+        mirror_chunks: 2,
+        tracked_drains: 3,
+        events_lost: 1,
+        final_health: ServiceHealth::Degraded,
+        ..IngestReport::default()
+    };
+    a.update_stats.changed = 7;
+    a.batch_apply_ns = vec![10, 30, 20];
+    let mut b = IngestReport {
+        events: 5,
+        batches: 2,
+        epochs_published: 2,
+        full_syncs: 2,
+        engine_panics: 1,
+        recoveries: 1,
+        final_health: ServiceHealth::Healthy,
+        ..IngestReport::default()
+    };
+    b.update_stats.changed = 3;
+    b.batch_apply_ns = vec![100, 5];
+    let m = IngestReport::merge(&[a, b]);
+    assert_eq!(m.events, 15);
+    assert_eq!(m.batches, 5);
+    assert_eq!(m.epochs_published, 5);
+    assert_eq!(m.update_stats.changed, 10);
+    assert_eq!(m.chunks_copied, 4);
+    assert_eq!(m.tracked_drains, 3);
+    assert_eq!(m.full_syncs, 2);
+    assert_eq!(m.engine_panics, 1);
+    assert_eq!(m.recoveries, 1);
+    assert_eq!(m.events_lost, 1);
+    assert_eq!(m.final_health, ServiceHealth::Degraded);
+    // Latency rings merge as the sorted union when under the cap — no
+    // sample from either writer is lost.
+    assert_eq!(m.batch_apply_ns, vec![5, 10, 20, 30, 100]);
+    assert!(m.publish_ns.is_empty());
+}
+
+#[test]
+fn report_merge_latency_subsample_is_percentile_safe() {
+    use crate::service::{IngestReport, LATENCY_SAMPLE_CAP};
+    // One writer with uniformly low latencies, one with uniformly high:
+    // after merging past the cap, the median must sit between the two
+    // populations and the p99 must come from the slow writer's tail.
+    let fast = IngestReport {
+        batch_apply_ns: (0..LATENCY_SAMPLE_CAP as u64).collect(),
+        ..IngestReport::default()
+    };
+    let slow = IngestReport {
+        batch_apply_ns: (0..LATENCY_SAMPLE_CAP as u64)
+            .map(|i| 1_000_000 + i)
+            .collect(),
+        ..IngestReport::default()
+    };
+    let m = IngestReport::merge(&[fast, slow]);
+    assert_eq!(m.batch_apply_ns.len(), LATENCY_SAMPLE_CAP);
+    let mut sorted = m.batch_apply_ns.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, m.batch_apply_ns, "merged ring is rank-ordered");
+    let p50 = sorted[sorted.len() / 2];
+    let p99 = sorted[sorted.len() * 99 / 100];
+    assert!(p50 >= 1_000_000, "median crossed into the slow population");
+    assert!(
+        (sorted[sorted.len() / 4]) < 1_000_000,
+        "fast population kept its mass"
+    );
+    assert!(
+        p99 >= 1_000_000 + (LATENCY_SAMPLE_CAP as u64) / 2,
+        "tail survived: {p99}"
+    );
+}
+
+#[test]
+fn published_metrics_track_engine_and_share_chunks() {
+    use kcore_maint::CoreMaintainer;
+    let base = barabasi_albert(40, 3, 11);
+    let svc = IngestService::spawn_planned(
+        base.clone(),
+        11,
+        IngestConfig::scripted().max_batch(4).publish_metrics(true),
+    )
+    .unwrap();
+    let mut events = Vec::new();
+    for b in churn_stream(&base, 3, 6, 3, 21) {
+        for e in churn_events(&b) {
+            events.push(e);
+            svc.submit(e).unwrap();
+        }
+        svc.flush().unwrap();
+    }
+    let snap = svc.snapshots().load();
+    let metrics = snap.metrics.as_ref().expect("metrics published");
+    let (_, mut engine) = svc.shutdown();
+    let (dp, mcd) = engine.metric_slices();
+    assert_eq!(metrics.deg_plus.to_vec(), dp);
+    assert_eq!(metrics.mcd.to_vec(), mcd);
+    // Snapshot-visible semantics: the engine's own mcd/deg_plus for the
+    // final state agree with a from-scratch engine over the same prefix.
+    let oracle = apply_events(&base, &events);
+    assert_eq!(engine.graph_ref().num_edges(), oracle.num_edges());
+
+    // Without the opt-in, no metrics ride along.
+    let svc2 = IngestService::spawn_planned(base, 11, IngestConfig::scripted()).unwrap();
+    assert!(svc2.snapshots().load().metrics.is_none());
+    svc2.shutdown();
+}

@@ -1,0 +1,335 @@
+//! Property tests for the sharded ingest deployment.
+//!
+//! The contract under test: at 1, 2, and 4 shards, for hash and range
+//! partitioning, every [`MergedSnapshot`] the router cuts is
+//! bit-identical to the single-engine decomposition oracle on the exact
+//! event prefix it claims to cover — for arbitrary event soups (dirty:
+//! duplicates, self-loops, out-of-range ids), for BA + churn streams
+//! whose promotion/dismissal seed components cross shards, and across a
+//! per-shard crash + recovery.
+
+use kcore_decomp::core_decomposition;
+use kcore_graph::{DynamicGraph, HashShardMap, RangeShardMap, ShardMap};
+use kcore_ingest::sources::{apply_events, churn_events};
+use kcore_ingest::{GraphEvent, IngestConfig, ShardRouter};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn oracle_cores(base: &DynamicGraph, events: &[GraphEvent]) -> Vec<u32> {
+    core_decomposition(&apply_events(base, events))
+}
+
+fn arb_base(n: u32, max_edges: usize) -> impl Strategy<Value = DynamicGraph> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges).prop_map(move |pairs| {
+        let mut g = DynamicGraph::with_vertices(n as usize);
+        for (a, b) in pairs {
+            if a != b && !g.has_edge(a, b) {
+                g.insert_edge_unchecked(a, b);
+            }
+        }
+        g
+    })
+}
+
+/// Checks one merged cut against the oracle on its covered prefix.
+fn assert_cut_matches(
+    cut: &kcore_ingest::MergedSnapshot,
+    base: &DynamicGraph,
+    events: &[GraphEvent],
+) -> Result<(), TestCaseError> {
+    let prefix = oracle_cores(base, &events[..cut.ops as usize]);
+    prop_assert_eq!(
+        cut.cores.to_vec(),
+        prefix.clone(),
+        "merged cores diverge from the oracle at epoch {}",
+        cut.epoch
+    );
+    let degeneracy = prefix.iter().copied().max().unwrap_or(0);
+    prop_assert_eq!(cut.degeneracy, degeneracy);
+    let mut hist = vec![0usize; degeneracy as usize + 1];
+    for &c in &prefix {
+        hist[c as usize] += 1;
+    }
+    prop_assert_eq!(&cut.histogram, &hist);
+    let members = cut.kcore_members(degeneracy);
+    for &v in &members {
+        prop_assert!(prefix[v as usize] >= degeneracy);
+    }
+    // Per-shard cores are lower bounds on the merged global cores.
+    for s in 0..cut.shards.len() {
+        for v in 0..prefix.len() as u32 {
+            prop_assert!(
+                cut.shard_core(s, v) <= cut.core(v),
+                "shard {} core({}) exceeds the global core",
+                s,
+                v
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Shard maps are total (any u32, even far outside the universe),
+    /// deterministic across instances, and balanced within bound over
+    /// the dense universe they were sized for.
+    #[test]
+    fn shard_maps_are_total_deterministic_balanced(
+        n in 64usize..2048,
+        shards in 1usize..9,
+        probes in prop::collection::vec(any::<u32>(), 1..50),
+    ) {
+        let hash = HashShardMap::new(shards);
+        let range = RangeShardMap::for_universe(n, shards);
+        for &v in &probes {
+            prop_assert!(hash.owner(v) < shards);
+            prop_assert!(range.owner(v) < shards);
+            // Deterministic: a second instance agrees on every id.
+            prop_assert_eq!(hash.owner(v), HashShardMap::new(shards).owner(v));
+            prop_assert_eq!(range.owner(v), RangeShardMap::for_universe(n, shards).owner(v));
+        }
+        let mut hash_load = vec![0usize; shards];
+        let mut range_load = vec![0usize; shards];
+        for v in 0..n as u32 {
+            hash_load[hash.owner(v)] += 1;
+            range_load[range.owner(v)] += 1;
+        }
+        // Range: ±1-balanced by construction.
+        let (lo, hi) = (n / shards, n.div_ceil(shards));
+        for &l in &range_load {
+            prop_assert!(l == lo || l == hi, "range load {} outside [{},{}]", l, lo, hi);
+        }
+        // Hash: within 2x + slack of fair share on a dense universe.
+        for &l in &hash_load {
+            prop_assert!(
+                l <= 2 * hi + 16,
+                "hash shard load {} vs fair share {}",
+                l,
+                hi
+            );
+        }
+    }
+
+    /// Every merged cut over an arbitrary dirty event soup equals the
+    /// decomposition oracle on its covered prefix, at 1/2/4 shards,
+    /// hash and range partitioned, with cuts at arbitrary boundaries.
+    #[test]
+    fn sharded_cuts_equal_oracle_prefixes(
+        base in arb_base(18, 40),
+        // ids past n: out-of-range events must be skipped identically.
+        raw in prop::collection::vec((any::<bool>(), 0u32..22, 0u32..22), 1..80),
+        shards in (0usize..3).prop_map(|i| [1usize, 2, 4][i]),
+        use_range in any::<bool>(),
+        max_batch in 1usize..6,
+        cut_every in 3usize..13,
+        seed in any::<u64>(),
+    ) {
+        let events: Vec<GraphEvent> = raw
+            .iter()
+            .map(|&(ins, u, v)| if ins {
+                GraphEvent::EdgeInserted(u, v)
+            } else {
+                GraphEvent::EdgeRemoved(u, v)
+            })
+            .collect();
+        let map: Arc<dyn ShardMap> = if use_range {
+            Arc::new(RangeShardMap::for_universe(18, shards))
+        } else {
+            Arc::new(HashShardMap::new(shards))
+        };
+        let mut router = ShardRouter::spawn(
+            base.clone(),
+            map,
+            seed,
+            IngestConfig::scripted().max_batch(max_batch),
+        )
+        .unwrap();
+
+        let mut last_epoch = 0u64;
+        let mut last_shard_epochs = vec![0u64; shards];
+        for (i, &e) in events.iter().enumerate() {
+            router.submit(e).unwrap();
+            if i % cut_every == cut_every - 1 {
+                let cut = router.merged_cut().unwrap();
+                prop_assert_eq!(cut.ops, i as u64 + 1, "cut covers the full prefix");
+                prop_assert!(cut.epoch > last_epoch, "merged epochs strictly increase");
+                last_epoch = cut.epoch;
+                for (s, &prev) in last_shard_epochs.iter().enumerate() {
+                    prop_assert!(cut.shard_epochs[s] >= prev);
+                }
+                last_shard_epochs = cut.shard_epochs.clone();
+                assert_cut_matches(&cut, &base, &events)?;
+                router.validate().map_err(TestCaseError::fail)?;
+            }
+        }
+        let cut = router.merged_cut().unwrap();
+        prop_assert_eq!(cut.ops, events.len() as u64);
+        assert_cut_matches(&cut, &base, &events)?;
+        router.validate().map_err(TestCaseError::fail)?;
+
+        let stats = router.stats();
+        prop_assert_eq!(stats.events, events.len() as u64);
+        if shards == 1 {
+            prop_assert_eq!(stats.cross_shard_events, 0);
+            prop_assert_eq!(stats.repair.boundary_exchanges, 0);
+        }
+
+        let (merged_report, per_shard) = router.shutdown();
+        prop_assert_eq!(per_shard.len(), shards);
+        let legs: u64 = per_shard.iter().map(|(r, _)| r.events).sum();
+        prop_assert_eq!(merged_report.events, legs);
+        prop_assert_eq!(legs, stats.events + stats.cross_shard_events);
+        // Each shard engine's graph is exactly the incident-edge
+        // restriction of the oracle's final graph.
+        let final_graph = apply_events(&base, &events);
+        for (s, (_, engine)) in per_shard.iter().enumerate() {
+            use kcore_maint::CoreMaintainer;
+            let g = engine.graph_ref();
+            let mut expect = 0usize;
+            for (u, v) in final_graph.edges() {
+                let incident = router_owner(&*router_map(use_range, shards), u, v, s);
+                if incident {
+                    prop_assert!(g.has_edge(u, v), "shard {} missing ({},{})", s, u, v);
+                    expect += 1;
+                }
+            }
+            prop_assert_eq!(g.num_edges(), expect, "shard {} holds extra edges", s);
+        }
+    }
+}
+
+fn router_map(use_range: bool, shards: usize) -> Arc<dyn ShardMap> {
+    if use_range {
+        Arc::new(RangeShardMap::for_universe(18, shards))
+    } else {
+        Arc::new(HashShardMap::new(shards))
+    }
+}
+
+fn router_owner(map: &dyn ShardMap, u: u32, v: u32, s: usize) -> bool {
+    map.owner(u) == s || map.owner(v) == s
+}
+
+/// BA base + churn stream at 2 and 4 shards: every cut equals the
+/// oracle, and over the whole run at least one promotion/dismissal seed
+/// component crossed shards (boundary-pass frontier exchange observed).
+#[test]
+fn churn_stream_crosses_shards_and_stays_exact() {
+    use kcore_gen::{barabasi_albert, churn_stream};
+    for &shards in &[2usize, 4] {
+        let base = barabasi_albert(60, 3, 7);
+        let map: Arc<dyn ShardMap> = Arc::new(HashShardMap::new(shards));
+        let mut router =
+            ShardRouter::spawn(base.clone(), map, 7, IngestConfig::scripted().max_batch(8))
+                .unwrap();
+        let mut events: Vec<GraphEvent> = Vec::new();
+        for batch in churn_stream(&base, 10, 14, 10, 13) {
+            for e in churn_events(&batch) {
+                events.push(e);
+                router.submit(e).unwrap();
+            }
+            let cut = router.merged_cut().unwrap();
+            assert_eq!(cut.ops, events.len() as u64);
+            assert_eq!(
+                cut.cores.to_vec(),
+                oracle_cores(&base, &events),
+                "{shards}-shard churn cut diverged at epoch {}",
+                cut.epoch
+            );
+            router.validate().unwrap();
+        }
+        let stats = router.stats();
+        assert!(
+            stats.repair.boundary_exchanges >= 1,
+            "{shards}-shard churn never exchanged a boundary frontier: {:?}",
+            stats.repair
+        );
+        assert!(stats.repair.rounds >= 1);
+        assert!(stats.cross_shard_events > 0);
+        router.shutdown();
+    }
+}
+
+/// Killing one shard's writer and recovering it through the durability
+/// ladder leaves the merged cut consistent, with merged and per-shard
+/// epochs monotone across the swap.
+#[test]
+fn shard_crash_recovery_composes_into_consistent_cuts() {
+    use kcore_ingest::DurabilityConfig;
+
+    let dir = std::env::temp_dir().join("kcore_shard_recovery");
+    std::fs::remove_dir_all(&dir).ok();
+    let shards = 2usize;
+    let n = 16usize;
+    let mut base = DynamicGraph::with_vertices(n);
+    for v in 0..n as u32 - 1 {
+        base.insert_edge_unchecked(v, v + 1);
+    }
+    let map: Arc<dyn ShardMap> = Arc::new(RangeShardMap::for_universe(n, shards));
+    let mk_dirs: Vec<_> = (0..shards).map(|s| dir.join(format!("shard{s}"))).collect();
+    for d in &mk_dirs {
+        std::fs::create_dir_all(d).unwrap();
+    }
+    let mut router = ShardRouter::spawn_with(base.clone(), map, 3, |s| {
+        IngestConfig::scripted()
+            .max_batch(2)
+            .durable(DurabilityConfig::in_dir(&mk_dirs[s]).snapshot_every(2))
+    })
+    .unwrap();
+
+    let mut events: Vec<GraphEvent> = Vec::new();
+    let submit = |router: &mut ShardRouter, events: &mut Vec<GraphEvent>, e: GraphEvent| {
+        router.submit(e).unwrap();
+        events.push(e);
+    };
+    // Cross-shard edges (7..8 spans the range boundary) plus local ones.
+    for (u, v) in [(7u32, 9u32), (6, 8), (0, 2), (1, 3), (10, 12), (11, 13)] {
+        submit(&mut router, &mut events, GraphEvent::EdgeInserted(u, v));
+    }
+    let cut1 = router.merged_cut().unwrap();
+    assert_eq!(cut1.cores.to_vec(), oracle_cores(&base, &events));
+
+    // Crash shard 1 mid-stream; traffic touching it parks in its log.
+    router.abort_shard(1);
+    for (u, v) in [(0u32, 3u32), (8, 10), (9, 11), (2, 4)] {
+        submit(&mut router, &mut events, GraphEvent::EdgeInserted(u, v));
+    }
+    submit(&mut router, &mut events, GraphEvent::EdgeRemoved(7, 9));
+
+    // A cut with a shard down must refuse rather than serve a torn view.
+    assert!(router.merged_cut().is_err());
+
+    let report = router.recover_shard(1).unwrap();
+    assert!(report.durable_ops <= events.len() as u64);
+
+    let cut2 = router.merged_cut().unwrap();
+    assert_eq!(
+        cut2.cores.to_vec(),
+        oracle_cores(&base, &events),
+        "post-recovery merged cut diverged (rung {:?})",
+        report.rung
+    );
+    assert!(cut2.epoch > cut1.epoch, "merged epoch monotone across swap");
+    for s in 0..shards {
+        assert!(
+            cut2.shard_epochs[s] >= cut1.shard_epochs[s],
+            "shard {s} epoch regressed across recovery: {} -> {}",
+            cut1.shard_epochs[s],
+            cut2.shard_epochs[s]
+        );
+    }
+    router.validate().unwrap();
+
+    // The recovered deployment keeps ingesting correctly.
+    for (u, v) in [(12u32, 14u32), (13, 15), (5, 7)] {
+        submit(&mut router, &mut events, GraphEvent::EdgeInserted(u, v));
+    }
+    let cut3 = router.merged_cut().unwrap();
+    assert_eq!(cut3.cores.to_vec(), oracle_cores(&base, &events));
+    assert_eq!(cut3.ops, events.len() as u64);
+    router.validate().unwrap();
+    router.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

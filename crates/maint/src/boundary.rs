@@ -1,0 +1,486 @@
+//! Cross-shard boundary repair: the pass that keeps a sharded
+//! deployment's *merged* core numbers exact when a promotion/dismissal
+//! seed component spans shards.
+//!
+//! Per-shard engines run the order-based passes of the source paper on
+//! their own subgraph, which makes their local cores exact *for that
+//! subgraph* — but a shard subgraph's core numbers are only lower bounds
+//! on the global ones (a cycle split across two shards is two paths
+//! locally: local core 1, global core 2). The merge layer therefore
+//! maintains the global core array itself, repairing it per epoch cut
+//! with a decrease-only h-operator fixpoint seeded from the cut's event
+//! window.
+//!
+//! ## The operator
+//!
+//! For an estimate array `est`, define `H(v)` = the largest `k` such
+//! that at least `k` neighbours of `v` have `est >= k` (computed capped
+//! at `est[v]`, so one `O(deg(v))` counting pass suffices). Two facts
+//! drive the pass:
+//!
+//! 1. any fixpoint of `H` reached from above is a *valid labelling* and
+//!    hence `<= core` pointwise (each vertex with label `k` has `k`
+//!    neighbours labelled `>= k`, so the sub-labelling supports itself —
+//!    Montresor et al.'s locality of k-cores);
+//! 2. if `est >= core` pointwise at the start and updates only ever
+//!    lower `est[v]` to `H(v) (>= core(v))`, the invariant `est >= core`
+//!    holds throughout. Together: at the fixpoint `est == core` exactly.
+//!
+//! ## Seeding from an event window
+//!
+//! Let `prev` be the exact cores before the window, `G'` the graph after
+//! it, and split the window's *net* effect into `E+` (edges in `G'` but
+//! not before) and `E-` (edges before but not in `G'`), `b = |E+|`,
+//! `r = |E-|`. Conceptually apply `E-` first (cores only fall, each by
+//! at most `r`: `mid >= prev - r`), then `E+` one edge at a time (cores
+//! only rise). Every vertex that ends above `mid` is connected *in `G'`*
+//! to an `E+` endpoint through vertices that also rise above `mid`, and
+//! any such vertex `y` satisfies `deg_{G'}(y) > mid(y) >= prev(y) - r`.
+//! So the closure `W`: BFS in `G'` from `E+` endpoints, expanding only
+//! through vertices with `deg(y) + r > prev(y)`, covers every vertex
+//! whose core may exceed `prev`. Raising `est[w] = max(prev(w),
+//! min(deg(w), prev(w) + b))` for `w ∈ W` (both terms are upper bounds
+//! on `core'`) restores `est >= core'` everywhere; seeding the queues
+//! with `W` and the `E-` endpoints then lets the decrease-only fixpoint
+//! finish the job.
+//!
+//! ## Sharding
+//!
+//! The pass keeps one FIFO frontier per shard and sweeps them in shard
+//! order: each round, every shard drains its queue to a local fixpoint;
+//! a lowered vertex re-queues each neighbour still estimated above the
+//! new value — into the *current* round if the neighbour is owned by the
+//! same shard, into the *next* round otherwise. Those deferred handoffs
+//! are exactly the frontier vertices shards exchange; the pass counts
+//! them ([`BoundaryPassStats::boundary_exchanges`]) and the rounds until
+//! global fixpoint ([`BoundaryPassStats::rounds`]). Update order never
+//! affects the result (the decrease-only iteration converges to the
+//! unique greatest fixpoint below the seed), so the sharded sweep is
+//! provably equivalent to the single-engine pass — the property the
+//! sharded ingest proptests check against the decomposition oracle.
+
+use kcore_graph::{DynamicGraph, ShardMap, VertexId};
+use std::collections::VecDeque;
+
+/// Counters from one boundary repair pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoundaryPassStats {
+    /// Sweep rounds until global fixpoint (one round = every shard
+    /// drained to a local fixpoint once).
+    pub rounds: u64,
+    /// Frontier vertices handed across shards between rounds — the
+    /// cross-shard seed-component traffic. Zero iff every seed component
+    /// settled inside its own shard.
+    pub boundary_exchanges: u64,
+    /// Vertices raised by the window closure before the fixpoint ran.
+    pub raised: u64,
+    /// Vertex pops across all queues (work measure).
+    pub examined: u64,
+    /// Vertices whose final core differs from `prev`.
+    pub changed: u64,
+}
+
+impl BoundaryPassStats {
+    /// Accumulates another pass's counters (rounds take the max — they
+    /// measure depth, not volume).
+    pub fn absorb(&mut self, other: BoundaryPassStats) {
+        self.rounds = self.rounds.max(other.rounds);
+        self.boundary_exchanges += other.boundary_exchanges;
+        self.raised += other.raised;
+        self.examined += other.examined;
+        self.changed += other.changed;
+    }
+}
+
+/// Reusable scratch for boundary repair passes.
+///
+/// All per-vertex scratch is generation-stamped, so a pass touching `m`
+/// vertices costs `O(m + frontier)` regardless of graph size.
+#[derive(Debug, Default)]
+pub struct BoundaryRepair {
+    /// Generation stamp per vertex: `== gen` means "in some queue".
+    queued: Vec<u64>,
+    /// Generation stamp per vertex: `== gen` means "old value recorded".
+    touched: Vec<u64>,
+    /// `est` value at pass entry for touched vertices.
+    old_val: Vec<u32>,
+    /// Touched vertices in first-touch order (for the change list).
+    touch_list: Vec<VertexId>,
+    /// Current generation.
+    gen: u64,
+    /// Histogram scratch for the h-operator.
+    cnt: Vec<u32>,
+    /// Per-shard FIFO frontiers for the current round.
+    queues: Vec<VecDeque<VertexId>>,
+    /// Per-shard frontiers deferred to the next round (cross-shard).
+    next: Vec<Vec<VertexId>>,
+}
+
+impl BoundaryRepair {
+    /// Scratch sized lazily on first use.
+    pub fn new() -> Self {
+        BoundaryRepair::default()
+    }
+
+    fn ensure(&mut self, n: usize, shards: usize) {
+        if self.queued.len() < n {
+            self.queued.resize(n, 0);
+            self.touched.resize(n, 0);
+            self.old_val.resize(n, 0);
+        }
+        if self.queues.len() < shards {
+            self.queues.resize_with(shards, VecDeque::new);
+            self.next.resize_with(shards, Vec::new);
+        }
+        self.touch_list.clear();
+        self.gen += 1;
+    }
+
+    #[inline]
+    fn touch(&mut self, v: VertexId, cur: u32) {
+        if self.touched[v as usize] != self.gen {
+            self.touched[v as usize] = self.gen;
+            self.old_val[v as usize] = cur;
+            self.touch_list.push(v);
+        }
+    }
+
+    /// `H(v)` capped at `cap`: the largest `k <= cap` with at least `k`
+    /// neighbours estimated `>= k`.
+    fn h_of(cnt: &mut Vec<u32>, est: &[u32], nbrs: &[VertexId], cap: u32) -> u32 {
+        if cap == 0 {
+            return 0;
+        }
+        let cap_us = cap as usize;
+        cnt.clear();
+        cnt.resize(cap_us + 1, 0);
+        for &w in nbrs {
+            cnt[(est[w as usize].min(cap)) as usize] += 1;
+        }
+        let mut cum = 0u32;
+        for k in (1..=cap_us).rev() {
+            cum += cnt[k];
+            if cum >= k as u32 {
+                return k as u32;
+            }
+        }
+        0
+    }
+
+    /// Repairs `est` (exact cores before the window) into the exact
+    /// cores of `graph` (the post-window union graph), returning the
+    /// per-vertex changes as `(vertex, old, new)` in deterministic
+    /// first-touch order via `changes`.
+    ///
+    /// `inserts` / `removes` are the window's **net** edge delta — edges
+    /// present after but not before, and vice versa — as applied (no
+    /// skipped duplicates, no self-loops, endpoints in range).
+    pub fn repair(
+        &mut self,
+        graph: &DynamicGraph,
+        map: &dyn ShardMap,
+        est: &mut [u32],
+        inserts: &[(VertexId, VertexId)],
+        removes: &[(VertexId, VertexId)],
+        changes: &mut Vec<(VertexId, u32, u32)>,
+    ) -> BoundaryPassStats {
+        let shards = map.shards();
+        self.ensure(est.len(), shards);
+        let mut stats = BoundaryPassStats::default();
+        changes.clear();
+
+        let b = inserts.len() as u32;
+        let r = removes.len() as u32;
+
+        // Window closure W: BFS in the post-window graph from applied
+        // insert endpoints, expanding through vertices whose degree still
+        // clears the (removal-slack adjusted) previous core — a superset
+        // of every vertex whose core can have risen. Raise each to the
+        // cheapest sound upper bound and seed the frontier with it.
+        let mut bfs: VecDeque<VertexId> = VecDeque::new();
+        let seed = |this: &mut Self,
+                    bfs: &mut VecDeque<VertexId>,
+                    est: &mut [u32],
+                    stats: &mut BoundaryPassStats,
+                    v: VertexId| {
+            if this.queued[v as usize] == this.gen {
+                return;
+            }
+            this.queued[v as usize] = this.gen;
+            let cur = est[v as usize];
+            this.touch(v, cur);
+            let raised = cur.max((graph.degree(v) as u32).min(cur + b));
+            if raised > cur {
+                est[v as usize] = raised;
+                stats.raised += 1;
+            }
+            bfs.push_back(v);
+        };
+        for &(u, v) in inserts {
+            seed(self, &mut bfs, est, &mut stats, u);
+            seed(self, &mut bfs, est, &mut stats, v);
+        }
+        while let Some(v) = bfs.pop_front() {
+            // Expansion predicate uses the *entry* value, recorded at
+            // first touch — raises must not widen the closure.
+            for &w in graph.neighbors(v) {
+                if self.queued[w as usize] == self.gen {
+                    continue;
+                }
+                let prev_w = if self.touched[w as usize] == self.gen {
+                    self.old_val[w as usize]
+                } else {
+                    est[w as usize]
+                };
+                if graph.degree(w) as u32 + r > prev_w {
+                    seed(self, &mut bfs, est, &mut stats, w);
+                }
+            }
+        }
+        // Everything raised or adjacent to a removal might now violate
+        // the h-condition: queue W plus the removal endpoints, each into
+        // its owner's frontier.
+        let enqueue = |this: &mut Self, v: VertexId| {
+            if this.queued[v as usize] != this.gen {
+                this.queued[v as usize] = this.gen;
+                this.queues[map.owner(v)].push_back(v);
+            }
+        };
+        // W is already stamped; move it into the per-shard queues.
+        let w_closure: Vec<VertexId> = self.touch_list.clone();
+        for &v in &w_closure {
+            self.queues[map.owner(v)].push_back(v);
+        }
+        for &(u, v) in removes {
+            enqueue(self, u);
+            enqueue(self, v);
+        }
+
+        // Sharded decrease-only fixpoint: rounds of per-shard local
+        // fixpoints, cross-shard frontier handoffs deferred one round.
+        let mut cnt = std::mem::take(&mut self.cnt);
+        loop {
+            if self.queues.iter().all(|q| q.is_empty()) {
+                break;
+            }
+            stats.rounds += 1;
+            for s in 0..shards {
+                while let Some(v) = self.queues[s].pop_front() {
+                    self.queued[v as usize] = 0;
+                    stats.examined += 1;
+                    let cur = est[v as usize];
+                    let h = Self::h_of(&mut cnt, est, graph.neighbors(v), cur);
+                    if h >= cur {
+                        continue;
+                    }
+                    self.touch(v, cur);
+                    est[v as usize] = h;
+                    for &w in graph.neighbors(v) {
+                        if est[w as usize] > h && self.queued[w as usize] != self.gen {
+                            self.queued[w as usize] = self.gen;
+                            let ow = map.owner(w);
+                            if ow == s {
+                                self.queues[s].push_back(w);
+                            } else {
+                                stats.boundary_exchanges += 1;
+                                self.next[ow].push(w);
+                            }
+                        }
+                    }
+                }
+            }
+            for s in 0..shards {
+                let deferred = &mut self.next[s];
+                self.queues[s].extend(deferred.drain(..));
+            }
+        }
+        self.cnt = cnt;
+
+        for &v in &self.touch_list {
+            let (old, new) = (self.old_val[v as usize], est[v as usize]);
+            if old != new {
+                changes.push((v, old, new));
+            }
+        }
+        stats.changed = changes.len() as u64;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kcore_decomp::core_decomposition;
+    use kcore_graph::{HashShardMap, RangeShardMap};
+
+    fn run(
+        before: &DynamicGraph,
+        after: &DynamicGraph,
+        inserts: &[(u32, u32)],
+        removes: &[(u32, u32)],
+        shards: usize,
+    ) -> (Vec<u32>, BoundaryPassStats, Vec<(u32, u32, u32)>) {
+        let mut est = core_decomposition(before);
+        let mut repair = BoundaryRepair::new();
+        let mut changes = Vec::new();
+        let stats = repair.repair(
+            after,
+            &HashShardMap::new(shards),
+            &mut est,
+            inserts,
+            removes,
+            &mut changes,
+        );
+        (est, stats, changes)
+    }
+
+    #[test]
+    fn insert_only_window_matches_oracle() {
+        let mut g = DynamicGraph::with_vertices(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 3)] {
+            g.insert_edge(u, v).unwrap();
+        }
+        let mut after = g.clone();
+        let ins = [(3, 0), (0, 2), (1, 3)];
+        for &(u, v) in &ins {
+            after.insert_edge(u, v).unwrap();
+        }
+        for shards in [1, 2, 4] {
+            let (est, stats, changes) = run(&g, &after, &ins, &[], shards);
+            assert_eq!(est, core_decomposition(&after));
+            assert!(stats.raised > 0);
+            assert!(!changes.is_empty());
+        }
+    }
+
+    #[test]
+    fn removal_only_window_matches_oracle() {
+        let mut g = DynamicGraph::with_vertices(5);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)] {
+            g.insert_edge(u, v).unwrap();
+        }
+        let mut after = g.clone();
+        after.remove_edge(2, 0).unwrap();
+        for shards in [1, 2, 4] {
+            let (est, stats, _) = run(&g, &after, &[], &[(2, 0)], shards);
+            assert_eq!(est, core_decomposition(&after));
+            assert!(stats.changed > 0);
+        }
+    }
+
+    #[test]
+    fn split_cycle_spanning_shards_is_exact() {
+        // A 4-cycle split across two shards by a range map: each shard's
+        // subgraph is a path (local core 1), while the union's core is 2
+        // — the canonical case where per-shard cores are only lower
+        // bounds and the merge-side repair must produce the global
+        // answer.
+        let before = DynamicGraph::with_vertices(4);
+        let mut after = DynamicGraph::with_vertices(4);
+        let ins = [(0, 1), (1, 2), (2, 3), (3, 0)];
+        for &(u, v) in &ins {
+            after.insert_edge(u, v).unwrap();
+        }
+        let map = RangeShardMap::for_universe(4, 2); // {0,1} | {2,3}
+        let mut est = core_decomposition(&before);
+        let mut repair = BoundaryRepair::new();
+        let mut changes = Vec::new();
+        let stats = repair.repair(&after, &map, &mut est, &ins, &[], &mut changes);
+        assert_eq!(est, core_decomposition(&after));
+        assert_eq!(est, vec![2, 2, 2, 2]);
+        assert!(stats.rounds >= 1);
+    }
+
+    #[test]
+    fn removal_deflation_crosses_the_shard_boundary() {
+        // Break a 4-cycle split across two shards: the dismissal seed is
+        // entirely in shard 0, but the core drop cascades to shard 1's
+        // vertices, which are nobody's seeds — the pass must hand them
+        // across as frontier vertices, deferred one round.
+        let mut before = DynamicGraph::with_vertices(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            before.insert_edge(u, v).unwrap();
+        }
+        let mut after = before.clone();
+        after.remove_edge(0, 1).unwrap();
+        let map = RangeShardMap::for_universe(4, 2); // {0,1} | {2,3}
+        let mut est = core_decomposition(&before);
+        let mut repair = BoundaryRepair::new();
+        let mut changes = Vec::new();
+        let stats = repair.repair(&after, &map, &mut est, &[], &[(0, 1)], &mut changes);
+        assert_eq!(est, core_decomposition(&after));
+        assert_eq!(est, vec![1, 1, 1, 1]);
+        assert!(
+            stats.boundary_exchanges >= 1,
+            "deflation must cross the shard boundary: {stats:?}"
+        );
+        assert!(stats.rounds >= 2, "handoff defers one round: {stats:?}");
+    }
+
+    #[test]
+    fn mixed_window_with_removal_slack_matches_oracle() {
+        // Removals can lower the degree of a vertex on a rising path
+        // below its previous core; the +r slack in the closure predicate
+        // must keep the path traversable.
+        let mut before = DynamicGraph::with_vertices(8);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)] {
+            before.insert_edge(u, v).unwrap();
+        }
+        let mut after = before.clone();
+        let ins = [(0, 2), (1, 3), (4, 6), (5, 7)];
+        let rem = [(3, 4)];
+        for &(u, v) in &ins {
+            after.insert_edge(u, v).unwrap();
+        }
+        for &(u, v) in &rem {
+            after.remove_edge(u, v).unwrap();
+        }
+        for shards in [1, 2, 3, 4] {
+            let (est, _, _) = run(&before, &after, &ins, &rem, shards);
+            assert_eq!(est, core_decomposition(&after), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn empty_window_is_a_noop() {
+        let mut g = DynamicGraph::with_vertices(4);
+        g.insert_edge(0, 1).unwrap();
+        let (est, stats, changes) = run(&g, &g.clone(), &[], &[], 2);
+        assert_eq!(est, core_decomposition(&g));
+        assert_eq!(stats, BoundaryPassStats::default());
+        assert!(changes.is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_across_windows_stays_exact() {
+        let mut repair = BoundaryRepair::new();
+        let mut g = DynamicGraph::with_vertices(10);
+        let mut est = core_decomposition(&g);
+        let map = HashShardMap::new(3);
+        let mut changes = Vec::new();
+        // Grow a clique edge by edge, one window per edge.
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                let before_cores = est.clone();
+                g.insert_edge(u, v).unwrap();
+                repair.repair(&g, &map, &mut est, &[(u, v)], &[], &mut changes);
+                assert_eq!(est, core_decomposition(&g));
+                for &(cv, old, new) in &changes {
+                    assert_eq!(before_cores[cv as usize], old);
+                    assert_eq!(est[cv as usize], new);
+                    assert_ne!(old, new);
+                }
+            }
+        }
+        // Then peel it back down.
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                if u % 2 == 0 {
+                    g.remove_edge(u, v).unwrap();
+                    repair.repair(&g, &map, &mut est, &[], &[(u, v)], &mut changes);
+                    assert_eq!(est, core_decomposition(&g));
+                }
+            }
+        }
+    }
+}
