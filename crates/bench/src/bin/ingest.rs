@@ -43,6 +43,13 @@
 //! KJRN v2 checksummed frame encode against the plain v1 record encode;
 //! `--max-append-overhead-ratio R` gates that ratio.
 //!
+//! The observability layer contributes an **observability** section:
+//! the churn workload run metrics-on (the default registry + stage
+//! histograms + span ring) and metrics-off (`ObsConfig::disabled()`),
+//! with `--max-obs-overhead-ratio R` gating the throughput ratio; the
+//! metrics-on run's Prometheus `render_text()` exposition is validated
+//! line-by-line and its registry JSON dump is embedded in the output.
+//!
 //! The sharded deployment contributes a **shards** section: the
 //! identical churn stream routed through a [`ShardRouter`] at 1, 2, and
 //! 4 hash-partitioned shards (per-shard wall-clock writers, periodic
@@ -64,7 +71,7 @@ use kcore_gen::{barabasi_albert, churn_stream, timestamp_edges, SlidingWindow};
 use kcore_graph::{DynamicGraph, HashShardMap, ShardMap};
 use kcore_ingest::durability::{encode_frame, snapshot_generation_path, DurabilityConfig};
 use kcore_ingest::sources::{apply_events, churn_events, window_event};
-use kcore_ingest::{recover, GraphEvent, IngestConfig, IngestService, ShardRouter};
+use kcore_ingest::{recover, GraphEvent, IngestConfig, IngestService, ObsConfig, ShardRouter};
 use kcore_maint::PlannerConfig;
 use std::io::Write;
 use std::sync::Arc;
@@ -91,6 +98,9 @@ struct Args {
     /// `0.0` disables the gate (best multi-shard events/sec over the
     /// 1-shard router baseline, in the shards section).
     min_shard_scaling: f64,
+    /// `0.0` disables the gate (metrics-off over metrics-on churn
+    /// events/sec, in the observability section).
+    max_obs_overhead_ratio: f64,
 }
 
 impl Args {
@@ -109,6 +119,7 @@ impl Args {
             max_publish_cost_ratio: 0.0,
             max_append_overhead_ratio: 0.0,
             min_shard_scaling: 0.0,
+            max_obs_overhead_ratio: 0.0,
         };
         let argv: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -145,12 +156,17 @@ impl Args {
                 "--min-shard-scaling" => {
                     a.min_shard_scaling = need(i).parse().expect("bad --min-shard-scaling")
                 }
+                "--max-obs-overhead-ratio" => {
+                    a.max_obs_overhead_ratio =
+                        need(i).parse().expect("bad --max-obs-overhead-ratio")
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --n N  --attach M  --batches B  --inserts-per-batch I  \
                          --removes-per-batch R  --max-batch S  --queue Q  --seed S  \
                          --out FILE  --min-ingest-throughput EPS  --max-publish-cost-ratio R  \
-                         --max-append-overhead-ratio R  --min-shard-scaling R"
+                         --max-append-overhead-ratio R  --min-shard-scaling R  \
+                         --max-obs-overhead-ratio R"
                     );
                     std::process::exit(0);
                 }
@@ -199,6 +215,76 @@ struct SectionReport {
     mirror_chunks: u64,
     tracked_drains: u64,
     full_syncs: u64,
+    /// Registry JSON dump from the run's writer (None when the section
+    /// ran with observability disabled).
+    metrics_json: Option<String>,
+    /// Prometheus exposition lines the run's registry rendered (0 when
+    /// observability was off) — every line validated well-formed.
+    exposition_lines: usize,
+}
+
+/// Validates one Prometheus text-exposition dump: every non-empty line
+/// is either a `# TYPE <name> <counter|gauge|histogram>` comment or a
+/// `<name>[{le="<float>"}] <number>` sample with a legal metric name.
+/// Returns the number of lines checked; panics (bench = CI smoke) on
+/// the first malformed line.
+fn validate_exposition(text: &str) -> usize {
+    let name_ok = |name: &str| {
+        !name.is_empty()
+            && name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    let mut lines = 0;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        lines += 1;
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.split(' ');
+            assert_eq!(parts.next(), Some("TYPE"), "malformed comment: {line:?}");
+            let name = parts.next().unwrap_or("");
+            assert!(name_ok(name), "bad metric name in comment: {line:?}");
+            let kind = parts.next().unwrap_or("");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "bad metric type: {line:?}"
+            );
+            assert_eq!(parts.next(), None, "trailing tokens: {line:?}");
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+            panic!("sample line has no value separator: {line:?}");
+        });
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok_and(f64::is_finite),
+            "unparseable sample value: {line:?}"
+        );
+        let name = match series.split_once('{') {
+            Some((name, labels)) => {
+                let labels = labels.strip_suffix('}').unwrap_or_else(|| {
+                    panic!("unclosed label set: {line:?}");
+                });
+                let le = labels
+                    .strip_prefix("le=\"")
+                    .and_then(|v| v.strip_suffix('"'))
+                    .unwrap_or_else(|| panic!("expected le=\"...\" label: {line:?}"));
+                assert!(
+                    le == "+Inf" || le.parse::<f64>().is_ok(),
+                    "bad le bound: {line:?}"
+                );
+                name
+            }
+            None => series,
+        };
+        assert!(name_ok(name), "bad metric name: {line:?}");
+    }
+    lines
 }
 
 impl SectionReport {
@@ -271,6 +357,7 @@ fn run_section(
 ) -> SectionReport {
     let svc = IngestService::spawn_planned(base.clone(), seed, cfg).expect("spawn service");
     let handle = svc.snapshots();
+    let metrics = svc.metrics();
     let mut staleness: Vec<u64> = Vec::with_capacity(events.len() / sample_every.max(1) + 1);
     let t0 = Instant::now();
     for (i, &e) in events.iter().enumerate() {
@@ -282,6 +369,18 @@ fn run_section(
     }
     svc.flush().expect("final barrier");
     let secs = t0.elapsed().as_secs_f64();
+    // Dump + validate the registry after the barrier, outside the timed
+    // window: the exposition smoke-check rides every section for free.
+    let (metrics_json, exposition_lines) = match &metrics {
+        Some(m) => {
+            let snap = m.snapshot();
+            (
+                Some(snap.to_json()),
+                validate_exposition(&snap.render_text()),
+            )
+        }
+        None => (None, 0),
+    };
     let (report, engine) = svc.shutdown();
 
     assert_eq!(
@@ -290,9 +389,6 @@ fn run_section(
         "{name}: final state diverged from the recompute oracle"
     );
 
-    let mut lat = report.batch_apply_ns.clone();
-    let latency_max_ns = lat.iter().copied().max().unwrap_or(0);
-    let mut pub_ns = report.publish_ns.clone();
     SectionReport {
         name,
         events: events.len(),
@@ -300,17 +396,19 @@ fn run_section(
         events_per_sec: events.len() as f64 / secs,
         batches: report.batches,
         epochs: report.epochs_published,
-        latency_p50_ns: percentile(&mut lat, 50.0),
-        latency_p99_ns: percentile(&mut lat, 99.0),
-        latency_max_ns,
+        latency_p50_ns: report.batch_apply.p50(),
+        latency_p99_ns: report.batch_apply.p99(),
+        latency_max_ns: report.batch_apply.max(),
         staleness_p50: percentile(&mut staleness, 50.0),
         staleness_max: staleness.iter().copied().max().unwrap_or(0),
-        publish_p50_ns: percentile(&mut pub_ns, 50.0),
-        publish_p99_ns: percentile(&mut pub_ns, 99.0),
+        publish_p50_ns: report.publish.p50(),
+        publish_p99_ns: report.publish.p99(),
         chunks_copied: report.chunks_copied,
         mirror_chunks: report.mirror_chunks,
         tracked_drains: report.tracked_drains,
         full_syncs: report.full_syncs,
+        metrics_json,
+        exposition_lines,
     }
 }
 
@@ -478,11 +576,10 @@ fn run_scale_point(
         &oracle_cores(&base, &events)[..],
         "scale point n={n}: final state diverged from the recompute oracle"
     );
-    let mut pub_ns = report.publish_ns.clone();
     ScalePoint {
         n,
-        publish_p50_ns: percentile(&mut pub_ns, 50.0),
-        publish_p99_ns: percentile(&mut pub_ns, 99.0),
+        publish_p50_ns: report.publish.p50(),
+        publish_p99_ns: report.publish.p99(),
         chunks_copied: report.chunks_copied,
         mirror_chunks: report.mirror_chunks,
         batches: report.batches,
@@ -607,6 +704,42 @@ fn main() {
         args.inserts_per_batch + args.removes_per_batch,
     );
     churn_lean_report.print();
+
+    // ---- observability: metrics-on vs metrics-off churn ----
+    // The identical stream with the registry, stage histograms, and span
+    // ring disabled — the honest price of the per-flush instrumentation.
+    // Per-flush recording is O(stages) atomics per batch, so the ratio
+    // should be statistical noise (gated at ≤1.05 in CI).
+    let churn_obs_off_report = run_section(
+        "churn_nobs",
+        &base,
+        &churn,
+        wall_cfg().observe(ObsConfig::disabled()),
+        args.seed,
+        args.inserts_per_batch + args.removes_per_batch,
+    );
+    churn_obs_off_report.print();
+    let obs_overhead_ratio = if churn_report.events_per_sec > 0.0 {
+        churn_obs_off_report.events_per_sec / churn_report.events_per_sec
+    } else {
+        1.0
+    };
+    assert!(
+        churn_report.exposition_lines > 0,
+        "metrics-on churn run must render a non-empty exposition"
+    );
+    assert_eq!(
+        churn_obs_off_report.exposition_lines, 0,
+        "metrics-off run must not carry a registry"
+    );
+    println!(
+        "observability: metrics-on {:.0} events/sec, metrics-off {:.0} events/sec = {:.3}x \
+         overhead ({} exposition lines validated)",
+        churn_report.events_per_sec,
+        churn_obs_off_report.events_per_sec,
+        obs_overhead_ratio,
+        churn_report.exposition_lines,
+    );
 
     // ---- shards: the same churn stream through the ShardRouter ----
     // Identical events, identical wall-clock per-shard config; only the
@@ -973,6 +1106,16 @@ fn main() {
     } else {
         "enforced".to_string()
     };
+    let obs_gate_status = if args.max_obs_overhead_ratio <= 0.0 {
+        "disabled".to_string()
+    } else if host < GATE_CORES {
+        format!(
+            "waived (host_parallelism {host} < {GATE_CORES} required: producer + writer threads \
+             time-slice on one core and the throughput delta is scheduling noise)"
+        )
+    } else {
+        "enforced".to_string()
+    };
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -991,12 +1134,24 @@ fn main() {
     for r in [
         &churn_report,
         &churn_lean_report,
+        &churn_obs_off_report,
         &window_report,
         &durable_report,
     ] {
         json.push_str(&r.json("  "));
         json.push_str(",\n");
     }
+    json.push_str(&format!(
+        "  \"observability\": {{\n    \"on_events_per_sec\": {:.0},\n    \
+         \"off_events_per_sec\": {:.0},\n    \"overhead_ratio\": {obs_overhead_ratio:.4},\n    \
+         \"exposition_lines\": {},\n    \"max_obs_overhead_ratio\": {:.2},\n    \
+         \"obs_gate\": \"{obs_gate_status}\",\n    \"metrics\": {}\n  }},\n",
+        churn_report.events_per_sec,
+        churn_obs_off_report.events_per_sec,
+        churn_report.exposition_lines,
+        args.max_obs_overhead_ratio,
+        churn_report.metrics_json.as_deref().unwrap_or("null"),
+    ));
     json.push_str(&format!(
         "  \"recover\": {{ \"events\": {}, \"replayed\": {}, \"secs\": {recover_secs:.4}, \
          \"journal_bytes\": {journal_bytes} }},\n",
@@ -1098,7 +1253,8 @@ fn main() {
         .expect("write BENCH_ingest.json");
     println!(
         "wrote {} (gate: {gate_status}, publish_gate: {publish_gate_status}, \
-         append_gate: {append_gate_status}, shard_gate: {shard_gate_status})",
+         append_gate: {append_gate_status}, shard_gate: {shard_gate_status}, \
+         obs_gate: {obs_gate_status})",
         args.out
     );
 
@@ -1136,6 +1292,14 @@ fn main() {
             "GATE FAILED: best shard scaling {best_scaling:.2}x (2 shards {scaling_2x:.2}x, \
              4 shards {scaling_4x:.2}x) < required {:.2}x over the 1-shard router",
             args.min_shard_scaling
+        );
+        failed = true;
+    }
+    if obs_gate_status == "enforced" && obs_overhead_ratio > args.max_obs_overhead_ratio {
+        eprintln!(
+            "GATE FAILED: metrics-off churn runs {obs_overhead_ratio:.3}x the metrics-on \
+             throughput (allowed {:.2}x): observability is not cheap enough to leave on",
+            args.max_obs_overhead_ratio
         );
         failed = true;
     }

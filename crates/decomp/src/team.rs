@@ -30,6 +30,7 @@
 
 use std::cell::Cell;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Hard cap on spawned workers. Jobs may ask for more tasks than this;
@@ -89,6 +90,48 @@ thread_local! {
     static IN_TEAM_TASK: Cell<bool> = const { Cell::new(false) };
 }
 
+// Lifetime counters for the process-wide team, exported through
+// [`stats`]. Relaxed: they are observability, not synchronisation.
+static JOBS: AtomicU64 = AtomicU64::new(0);
+static TASKS: AtomicU64 = AtomicU64::new(0);
+static INLINE_JOBS: AtomicU64 = AtomicU64::new(0);
+static NESTED_INLINE: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time view of the worker team, for gauges and logs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TeamStats {
+    /// Jobs dispatched to the team (`tasks > 1`, not nested).
+    pub jobs: u64,
+    /// Total task invocations across all jobs (including inline ones).
+    pub tasks: u64,
+    /// Jobs that ran inline because `tasks <= 1`.
+    pub inline_jobs: u64,
+    /// Jobs that ran inline because they were submitted from inside a
+    /// team task (nesting fallback).
+    pub nested_inline: u64,
+    /// Workers spawned so far (monotone, ≤ [`MAX_WORKERS`]).
+    pub workers_spawned: u64,
+    /// Whether a job is occupying the team right now.
+    pub busy: bool,
+}
+
+/// Lifetime team statistics — queue/occupancy gauges for the
+/// observability layer. Cheap: four relaxed loads plus one short lock.
+pub fn stats() -> TeamStats {
+    let (spawned, busy) = {
+        let slot = team().slot.lock().unwrap();
+        (slot.spawned as u64, slot.job.is_some())
+    };
+    TeamStats {
+        jobs: JOBS.load(Ordering::Relaxed),
+        tasks: TASKS.load(Ordering::Relaxed),
+        inline_jobs: INLINE_JOBS.load(Ordering::Relaxed),
+        nested_inline: NESTED_INLINE.load(Ordering::Relaxed),
+        workers_spawned: spawned,
+        busy,
+    }
+}
+
 fn worker_loop(team: &'static Team) {
     let mut last_seen = 0u64;
     let mut slot = team.slot.lock().unwrap();
@@ -129,17 +172,23 @@ fn worker_loop(team: &'static Team) {
 /// job's whole lifetime.
 pub fn run(tasks: usize, f: &(dyn Fn(usize) + Sync)) {
     if tasks <= 1 {
+        INLINE_JOBS.fetch_add(1, Ordering::Relaxed);
+        TASKS.fetch_add(1, Ordering::Relaxed);
         f(0);
         return;
     }
     if IN_TEAM_TASK.with(|flag| flag.get()) {
         // Nested submission from inside a task: run inline rather than
         // deadlock on the submit lock the outer job's caller holds.
+        NESTED_INLINE.fetch_add(1, Ordering::Relaxed);
+        TASKS.fetch_add(tasks as u64, Ordering::Relaxed);
         for i in 0..tasks {
             f(i);
         }
         return;
     }
+    JOBS.fetch_add(1, Ordering::Relaxed);
+    TASKS.fetch_add(tasks as u64, Ordering::Relaxed);
     let team = team();
     let _guard = team
         .submit

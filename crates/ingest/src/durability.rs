@@ -938,6 +938,51 @@ pub struct RecoveryReport {
     /// Whether the journal was reset (fresh v2 header at
     /// `base = durable_ops`) because it could not be repaired in place.
     pub journal_reset: bool,
+    /// Wall-clock time the whole ladder took, nanoseconds. Purely
+    /// observational (per-rung recovery timing for the metrics layer);
+    /// never feeds back into recovery decisions.
+    pub elapsed_ns: u64,
+}
+
+impl RecoveryReport {
+    /// Stable metric name of the rung that fired (generation-agnostic),
+    /// matching the `recovery_rung_*` counter names the ingest service
+    /// registers.
+    pub fn rung_metric(&self) -> &'static str {
+        match self.rung {
+            RecoveryRung::Primary => "primary",
+            RecoveryRung::TruncatedTail => "truncated_tail",
+            RecoveryRung::OlderGeneration(_) => "older_generation",
+            RecoveryRung::SnapshotOnly => "snapshot_only",
+            RecoveryRung::GenesisReplay => "genesis_replay",
+        }
+    }
+
+    /// One-line JSON for ops logs and bench embedding.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rung\":\"{}\",\"snapshot_generation\":{},\"snapshots_rejected\":{},\
+             \"durable_ops\":{},\"replayed\":{},\"journal_version\":{},\
+             \"journal_damage\":{},\"journal_truncated_bytes\":{},\"journal_reset\":{},\
+             \"elapsed_ns\":{}}}",
+            self.rung,
+            match self.snapshot_generation {
+                Some(g) => g.to_string(),
+                None => "null".to_string(),
+            },
+            self.snapshots_rejected,
+            self.durable_ops,
+            self.replayed,
+            self.journal_version,
+            match self.journal_damage {
+                Some(d) => format!("\"{d}\""),
+                None => "null".to_string(),
+            },
+            self.journal_truncated_bytes,
+            self.journal_reset,
+            self.elapsed_ns,
+        )
+    }
 }
 
 impl std::fmt::Display for RecoveryReport {
@@ -1013,6 +1058,18 @@ pub struct Recovered {
 /// returning, so a subsequent [`crate::IngestService::spawn_recovered`]
 /// opens clean files.
 pub fn recover(
+    d: &DurabilityConfig,
+    seed: u64,
+    planner: PlannerConfig,
+    replay_batch: usize,
+) -> Result<Recovered, RecoverError> {
+    let t0 = std::time::Instant::now();
+    let mut rec = recover_impl(d, seed, planner, replay_batch)?;
+    rec.report.elapsed_ns = t0.elapsed().as_nanos() as u64;
+    Ok(rec)
+}
+
+fn recover_impl(
     d: &DurabilityConfig,
     seed: u64,
     planner: PlannerConfig,
@@ -1117,6 +1174,7 @@ pub fn recover(
                 journal_damage: damage,
                 journal_truncated_bytes: truncated,
                 journal_reset: false,
+                elapsed_ns: 0,
             },
         });
     }
@@ -1145,6 +1203,7 @@ pub fn recover(
                 journal_damage: journal.as_ref().and_then(|j| j.damage),
                 journal_truncated_bytes: raw_len.unwrap_or(0),
                 journal_reset: true,
+                elapsed_ns: 0,
             },
         });
     }
@@ -1190,6 +1249,7 @@ pub fn recover(
             journal_damage: j.damage,
             journal_truncated_bytes: truncated,
             journal_reset: false,
+            elapsed_ns: 0,
         },
     })
 }

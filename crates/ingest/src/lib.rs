@@ -36,6 +36,18 @@
 //!   caught, readers keep the last published epoch, and the service
 //!   rebuilds itself through [`recover`] under a bounded
 //!   [`RecoveryPolicy`] backoff.
+//! * **Observability** — each writer carries a lock-light
+//!   [`kcore_obs::MetricsRegistry`] (atomic counters, gauges, and
+//!   log-bucketed latency histograms with a per-flush stage breakdown)
+//!   plus a bounded [`kcore_obs::SpanRecorder`] whose spans use the
+//!   writer's own clock — bit-exact traces under
+//!   [`ClockMode::Scripted`]. Read live via [`IngestService::metrics`]
+//!   / [`IngestService::spans`], render with
+//!   [`MetricsSnapshot::render_text`] (Prometheus) or
+//!   [`MetricsSnapshot::to_json`]; opt out per service with
+//!   [`ObsConfig::disabled`]. The [`ShardRouter`] layers its own
+//!   registry on top: merged-cut phase spans and a cross-shard lag
+//!   gauge.
 //!
 //! ```
 //! use kcore_ingest::{GraphEvent, IngestConfig, IngestService};
@@ -74,10 +86,14 @@ pub use faults::{
     FaultKind, FaultPlan, FlakyEngine, FlakyProbe, JournalIo, OpClass, StorageHandle,
 };
 pub use kcore_maint::journal::GraphEvent;
+pub use kcore_obs::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot,
+    Span, SpanRecorder,
+};
 pub use router::{MergedHandle, MergedSnapshot, RouterStats, ShardRouter};
 pub use service::{
     ClockMode, IngestConfig, IngestEngine, IngestError, IngestPause, IngestReport, IngestService,
-    RecoveryPolicy, RetryBudget, ServiceHealth,
+    ObsConfig, RecoveryPolicy, RetryBudget, ServiceHealth,
 };
 pub use snapshot::{CoreSnapshot, SnapshotHandle, SnapshotReceiver};
 

@@ -54,8 +54,10 @@ use kcore_graph::{BoundaryTable, DynamicGraph, ShardMap, VertexId};
 use kcore_maint::boundary::{BoundaryPassStats, BoundaryRepair};
 use kcore_maint::journal::GraphEvent;
 use kcore_maint::PlannedCore;
+use kcore_obs::{Counter, Gauge, Histogram, MetricsRegistry, SpanRecorder};
 use std::io;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// One consistent cross-shard view: global cores (exact for the union
 /// graph over the covered prefix) plus the per-shard snapshots it was
@@ -143,6 +145,55 @@ pub struct RouterStats {
     pub repair: BoundaryPassStats,
 }
 
+/// Router-level metric handles: cut counters, merged-cut phase latency
+/// histograms, and the cross-shard lag gauge. Always on — the router is
+/// a control-plane object, never on a per-event hot path (`merged_cut`
+/// is the only instrumented operation).
+struct RouterObs {
+    registry: MetricsRegistry,
+    spans: SpanRecorder,
+    origin: Instant,
+    cuts: Counter,
+    events: Counter,
+    cross_events: Counter,
+    boundary_rounds: Counter,
+    boundary_exchanges: Counter,
+    /// Max pairwise spread of rebased per-shard epochs at the last cut —
+    /// how far the most- and least-advanced shards have drifted apart.
+    lag: Gauge,
+    boundary_edges: Gauge,
+    phase_barrier: Histogram,
+    phase_union_replay: Histogram,
+    phase_boundary_repair: Histogram,
+    phase_publish: Histogram,
+}
+
+impl RouterObs {
+    fn new() -> Self {
+        let reg = MetricsRegistry::new();
+        RouterObs {
+            cuts: reg.counter("router_cuts_total"),
+            events: reg.counter("router_events_total"),
+            cross_events: reg.counter("router_cross_shard_events_total"),
+            boundary_rounds: reg.counter("router_boundary_rounds_total"),
+            boundary_exchanges: reg.counter("router_boundary_exchanges_total"),
+            lag: reg.gauge("router_cross_shard_lag"),
+            boundary_edges: reg.gauge("router_boundary_edges"),
+            phase_barrier: reg.histogram("router_cut_barrier_ns"),
+            phase_union_replay: reg.histogram("router_cut_union_replay_ns"),
+            phase_boundary_repair: reg.histogram("router_cut_boundary_repair_ns"),
+            phase_publish: reg.histogram("router_cut_publish_ns"),
+            spans: SpanRecorder::with_capacity(256),
+            origin: Instant::now(),
+            registry: reg,
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
 struct ShardSlot {
     /// `None` only between `abort_shard` and `recover_shard`.
     svc: Option<IngestService<PlannedCore>>,
@@ -177,6 +228,7 @@ pub struct ShardRouter {
     seed: u64,
     handle: MergedHandle,
     stats: RouterStats,
+    obs: RouterObs,
 }
 
 impl ShardRouter {
@@ -270,6 +322,7 @@ impl ShardRouter {
                 latest: Arc::new(Mutex::new(cut0)),
             },
             stats: RouterStats::default(),
+            obs: RouterObs::new(),
         })
     }
 
@@ -293,6 +346,27 @@ impl ShardRouter {
         self.handle.clone()
     }
 
+    /// The router's own metrics registry: cut counters, merged-cut phase
+    /// latency histograms, and the cross-shard lag gauge. Cloneable and
+    /// readable from any thread.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.obs.registry.clone()
+    }
+
+    /// The router's merged-cut span ring (phases: `barrier`,
+    /// `union_replay`, `boundary_repair`, `publish`; trace id = merged
+    /// epoch).
+    pub fn spans(&self) -> SpanRecorder {
+        self.obs.spans.clone()
+    }
+
+    /// Shard `s`'s own writer registry (flush-stage histograms, planner
+    /// and recovery counters) — `None` if the shard is down or spawned
+    /// with observability disabled.
+    pub fn shard_metrics(&self, s: usize) -> Option<MetricsRegistry> {
+        self.slots[s].svc.as_ref().and_then(|svc| svc.metrics())
+    }
+
     fn endpoints(e: GraphEvent) -> (VertexId, VertexId) {
         match e {
             GraphEvent::EdgeInserted(u, v) | GraphEvent::EdgeRemoved(u, v) => (u, v),
@@ -308,8 +382,10 @@ impl ShardRouter {
         if hi != lo {
             self.slots[hi].routed.push(e);
             self.stats.cross_shard_events += 1;
+            self.obs.cross_events.inc();
         }
         self.stats.events += 1;
+        self.obs.events.inc();
         self.window.push(e);
     }
 
@@ -381,6 +457,9 @@ impl ShardRouter {
     /// every event submitted so far. A barrier: flushes all shards,
     /// then runs the boundary repair over the cut's event window.
     pub fn merged_cut(&mut self) -> Result<Arc<MergedSnapshot>, IngestError> {
+        let trace = self.epoch + 1;
+        let window_len = self.window.len() as u64;
+        let t_barrier = self.obs.now();
         // Barrier: after these flushes every per-shard snapshot covers
         // exactly the events routed to it — one consistent prefix.
         let mut shard_snaps = Vec::with_capacity(self.slots.len());
@@ -393,6 +472,8 @@ impl ShardRouter {
             );
             shard_snaps.push(snap);
         }
+        let shard_snaps_len = shard_snaps.len() as u64;
+        let t_replay = self.obs.now();
 
         // Replay the window onto the union graph under the shared skip
         // semantics (`sources::apply_events` is the model), collecting
@@ -441,6 +522,7 @@ impl ShardRouter {
             }
         }
 
+        let t_repair = self.obs.now();
         // Cross-shard boundary repair: exact global cores for the
         // post-window union graph, O(affected region), with frontier
         // exchange between shards counted in the stats.
@@ -453,6 +535,7 @@ impl ShardRouter {
             &removes,
             &mut changes,
         );
+        let t_publish = self.obs.now();
         for &(v, _, new) in &changes {
             self.mirror.apply(v, new);
         }
@@ -483,6 +566,49 @@ impl ShardRouter {
             repair: pass,
         });
         *self.handle.latest.lock().unwrap() = merged.clone();
+
+        let t_end = self.obs.now();
+        self.obs.cuts.inc();
+        self.obs.boundary_rounds.add(pass.rounds);
+        self.obs.boundary_exchanges.add(pass.boundary_exchanges);
+        self.obs.boundary_edges.set(self.boundary.len() as f64);
+        let max_epoch = merged.shard_epochs.iter().copied().max().unwrap_or(0);
+        let min_epoch = merged.shard_epochs.iter().copied().min().unwrap_or(0);
+        self.obs.lag.set((max_epoch - min_epoch) as f64);
+        let phases = [
+            (
+                "barrier",
+                t_barrier,
+                t_replay - t_barrier,
+                shard_snaps_len,
+                &self.obs.phase_barrier,
+            ),
+            (
+                "union_replay",
+                t_replay,
+                t_repair - t_replay,
+                window_len,
+                &self.obs.phase_union_replay,
+            ),
+            (
+                "boundary_repair",
+                t_repair,
+                t_publish - t_repair,
+                pass.boundary_exchanges,
+                &self.obs.phase_boundary_repair,
+            ),
+            (
+                "publish",
+                t_publish,
+                t_end - t_publish,
+                changes.len() as u64,
+                &self.obs.phase_publish,
+            ),
+        ];
+        for (stage, start, dur, items, hist) in phases {
+            hist.record(dur);
+            self.obs.spans.record(trace, stage, start, dur, items);
+        }
         Ok(merged)
     }
 

@@ -52,8 +52,10 @@ use kcore_decomp::Parallelism;
 use kcore_graph::{DynamicGraph, VertexId};
 use kcore_maint::journal::{replay_batched, GraphEvent, Journaled};
 use kcore_maint::{
-    CoreMaintainer, PlannedCore, PlannerConfig, RecomputeCore, TreapOrderCore, UpdateStats,
+    CoreMaintainer, PlannedCore, PlannerConfig, PlannerStats, RecomputeCore, TreapOrderCore,
+    UpdateStats,
 };
+use kcore_obs::{Counter, Gauge, Histogram, MetricsRegistry, SpanRecorder};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -110,6 +112,13 @@ pub trait IngestEngine: CoreMaintainer + Send + 'static {
     fn metric_slices(&mut self) -> Option<(&[u32], &[u32])> {
         None
     }
+
+    /// The engine's planner decision counters and cost-model EWMAs, when
+    /// it is planner-driven — exported as `planner_*` metrics by the
+    /// writer after every flush. `None` (the default) exports nothing.
+    fn planner_stats(&self) -> Option<&PlannerStats> {
+        None
+    }
 }
 
 impl IngestEngine for PlannedCore {
@@ -140,6 +149,10 @@ impl IngestEngine for PlannedCore {
 
     fn metric_slices(&mut self) -> Option<(&[u32], &[u32])> {
         Some(PlannedCore::metric_slices(self))
+    }
+
+    fn planner_stats(&self) -> Option<&PlannerStats> {
+        Some(PlannedCore::planner_stats(self))
     }
 }
 
@@ -301,6 +314,46 @@ impl Default for RecoveryPolicy {
     }
 }
 
+/// Observability wiring for a service instance (see `kcore-obs`).
+///
+/// Enabled by default: the cost is a handful of relaxed atomics and a
+/// few span records per *flush* (never per event) — the bench's
+/// `--max-obs-overhead-ratio` gate holds it under 5% on the churn
+/// workload. Disable for A/B overhead measurements.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Register metrics and record flush-stage spans.
+    pub enabled: bool,
+    /// Span-ring capacity in spans (a flush records one span per
+    /// pipeline stage, currently 6).
+    pub span_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: true,
+            span_capacity: 256,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Metrics and tracing fully off (for overhead A/B runs).
+    pub fn disabled() -> Self {
+        ObsConfig {
+            enabled: false,
+            ..ObsConfig::default()
+        }
+    }
+
+    /// Sets the retained-span ring capacity.
+    pub fn with_span_capacity(mut self, cap: usize) -> Self {
+        self.span_capacity = cap;
+        self
+    }
+}
+
 /// Service tunables.
 #[derive(Debug, Clone)]
 pub struct IngestConfig {
@@ -337,6 +390,9 @@ pub struct IngestConfig {
     /// them costs a chunk-compare per flush, and on a planner engine a
     /// deferred k-order rebuild per flush that touched the order.
     pub publish_metrics: bool,
+    /// Observability wiring: metrics registry + flush-stage span tracer
+    /// ([`IngestService::metrics`] / [`IngestService::spans`]).
+    pub obs: ObsConfig,
 }
 
 impl Default for IngestConfig {
@@ -352,6 +408,7 @@ impl Default for IngestConfig {
             parallelism: None,
             recovery: None,
             publish_metrics: false,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -408,6 +465,12 @@ impl IngestConfig {
         self.publish_metrics = on;
         self
     }
+
+    /// Sets the observability wiring (metrics registry + span tracer).
+    pub fn observe(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
 }
 
 /// Bounded exponential backoff for [`IngestService::submit_with_retry`].
@@ -451,14 +514,14 @@ pub struct IngestReport {
     pub snapshots_persisted: u64,
     /// Per-flush apply+ship duration, writer-clock ns (the bench's p50 /
     /// p99 batch-latency source; scripted clocks make these synthetic).
-    /// Bounded: a ring of the most recent [`LATENCY_SAMPLE_CAP`] flushes
-    /// — a long-lived writer must not grow a metric vector forever.
-    pub batch_apply_ns: Vec<u64>,
+    /// A bounded log-bucketed histogram — O(1) memory however long the
+    /// run, with p50/p99 exact to one bucket (≤ 12.5%).
+    pub batch_apply: Histogram,
     /// Per-flush snapshot-maintenance cost (mirror sync + publication),
     /// **wall**-clock ns even under a scripted clock — metrics do not
-    /// affect determinism. Same ring policy as `batch_apply_ns`. This is
-    /// the publish-cost gate's sample source: O(changed), not O(n).
-    pub publish_ns: Vec<u64>,
+    /// affect determinism. Same histogram shape as `batch_apply`. This
+    /// is the publish-cost gate's sample source: O(changed), not O(n).
+    pub publish: Histogram,
     /// Chunks copy-on-written into the snapshot mirror, totalled over
     /// every flush (the "publish cost is proportional to the diff"
     /// witness; compare against `mirror_chunks` × flushes).
@@ -496,25 +559,11 @@ pub struct IngestReport {
 impl IngestReport {
     /// Aggregates the per-writer reports of a multi-writer deployment
     /// (one per shard) into one: counters sum, engine stats absorb,
-    /// health takes the worst, and the latency rings merge
-    /// percentile-safely — a rank-uniform subsample of the sorted
-    /// union, capped at [`LATENCY_SAMPLE_CAP`], so no writer's tail
-    /// disappears and no writer's volume drowns another's percentiles
-    /// by more than its event share.
+    /// health takes the worst, and the latency histograms merge by
+    /// bucket addition — exactly percentile-safe (to bucket
+    /// resolution): no writer's tail disappears and no writer's volume
+    /// drowns another's percentiles beyond its true event share.
     pub fn merge(reports: &[IngestReport]) -> IngestReport {
-        fn merge_samples<'a>(parts: impl Iterator<Item = &'a Vec<u64>>) -> Vec<u64> {
-            let mut all: Vec<u64> = parts.flatten().copied().collect();
-            all.sort_unstable();
-            if all.len() > LATENCY_SAMPLE_CAP {
-                // Evenly spaced ranks of the sorted union: quantiles of
-                // the subsample track quantiles of the union.
-                let stride = all.len() as f64 / LATENCY_SAMPLE_CAP as f64;
-                all = (0..LATENCY_SAMPLE_CAP)
-                    .map(|i| all[(i as f64 * stride) as usize])
-                    .collect();
-            }
-            all
-        }
         let mut out = IngestReport::default();
         for r in reports {
             out.events += r.events;
@@ -537,15 +586,32 @@ impl IngestReport {
             if r.final_health as u8 > out.final_health as u8 {
                 out.final_health = r.final_health;
             }
+            out.batch_apply.absorb(&r.batch_apply);
+            out.publish.absorb(&r.publish);
         }
-        out.batch_apply_ns = merge_samples(reports.iter().map(|r| &r.batch_apply_ns));
-        out.publish_ns = merge_samples(reports.iter().map(|r| &r.publish_ns));
         out
+    }
+
+    /// Representative per-flush apply latency samples, rank-ordered and
+    /// capped at [`LATENCY_SAMPLE_CAP`] — reconstructed from the
+    /// bounded histogram's buckets.
+    #[deprecated(note = "use the `batch_apply` histogram's p50()/p99()/quantile() directly")]
+    pub fn batch_apply_ns(&self) -> Vec<u64> {
+        self.batch_apply.samples(LATENCY_SAMPLE_CAP)
+    }
+
+    /// Representative per-flush publish-cost samples, rank-ordered and
+    /// capped at [`LATENCY_SAMPLE_CAP`] — reconstructed from the
+    /// bounded histogram's buckets.
+    #[deprecated(note = "use the `publish` histogram's p50()/p99()/quantile() directly")]
+    pub fn publish_ns(&self) -> Vec<u64> {
+        self.publish.samples(LATENCY_SAMPLE_CAP)
     }
 }
 
-/// Retained per-flush latency samples (ring of the most recent; sample
-/// order within the vector is immaterial for percentiles).
+/// Cap on reconstructed latency-sample vectors returned by the
+/// deprecated [`IngestReport::batch_apply_ns`] / [`IngestReport::publish_ns`]
+/// accessors (the histograms themselves are bounded by construction).
 pub const LATENCY_SAMPLE_CAP: usize = 4096;
 
 /// While `Recovering`, buffered events are capped at this multiple of
@@ -571,6 +637,8 @@ pub struct IngestService<M: IngestEngine = PlannedCore> {
     tx: SyncSender<Msg>,
     snapshots: SnapshotHandle,
     health: Arc<AtomicU8>,
+    metrics: Option<MetricsRegistry>,
+    spans: Option<SpanRecorder>,
     writer: Option<JoinHandle<(IngestReport, Journaled<M>)>>,
 }
 
@@ -656,6 +724,12 @@ impl<M: IngestEngine> IngestService<M> {
         let journaled = Journaled::with_start_seq(engine, start_seq);
         let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
         let health = Arc::new(AtomicU8::new(ServiceHealth::Healthy as u8));
+        let report = IngestReport::default();
+        let obs = cfg.obs.enabled.then(|| WriterObs::new(&cfg.obs, &report));
+        let (registry, spans) = match &obs {
+            Some(o) => (Some(o.registry.clone()), Some(o.spans.clone())),
+            None => (None, None),
+        };
         let writer = Writer {
             engine: journaled,
             cfg,
@@ -681,7 +755,8 @@ impl<M: IngestEngine> IngestService<M> {
             recovery_attempts: 0,
             recovery_due_ns: 0,
             degraded_flushes_left: 0,
-            report: IngestReport::default(),
+            obs,
+            report,
         };
         let snapshots = SnapshotHandle::new(writer.compose_snapshot());
         let handle = snapshots.clone();
@@ -693,8 +768,24 @@ impl<M: IngestEngine> IngestService<M> {
             tx,
             snapshots,
             health,
+            metrics: registry,
+            spans,
             writer: Some(thread),
         })
+    }
+
+    /// The service's metrics registry (`None` when observability is
+    /// disabled). Snapshots are live and never block the writer:
+    /// `svc.metrics().unwrap().snapshot()` from any thread.
+    pub fn metrics(&self) -> Option<MetricsRegistry> {
+        self.metrics.clone()
+    }
+
+    /// The writer's flush-stage span ring (`None` when observability is
+    /// disabled). Under a scripted clock the retained spans are
+    /// bit-identical run over run.
+    pub fn spans(&self) -> Option<SpanRecorder> {
+        self.spans.clone()
     }
 
     /// Non-blocking submission: `QueueFull` is the backpressure signal.
@@ -870,6 +961,177 @@ pub struct IngestPause {
     _release: mpsc::Sender<()>,
 }
 
+/// Planner metric handles plus the last exported counter values —
+/// [`PlannerStats`] counters are cumulative, so the writer exports
+/// deltas to keep the registry's counters true monotone counters.
+struct PlannerObs {
+    batched: Counter,
+    split: Counter,
+    par_split: Counter,
+    recompute: Counter,
+    par_recompute: Counter,
+    late_recompute: Counter,
+    rebuilds: Counter,
+    ewma: [Gauge; 7],
+    last: [usize; 7],
+}
+
+impl PlannerObs {
+    fn new(reg: &MetricsRegistry) -> Self {
+        PlannerObs {
+            batched: reg.counter("planner_batched_total"),
+            split: reg.counter("planner_split_total"),
+            par_split: reg.counter("planner_par_split_total"),
+            recompute: reg.counter("planner_recompute_total"),
+            par_recompute: reg.counter("planner_par_recompute_total"),
+            late_recompute: reg.counter("planner_late_recompute_total"),
+            rebuilds: reg.counter("planner_rebuilds_total"),
+            ewma: [
+                reg.gauge("planner_ewma_batched_insert_ns_per_edge"),
+                reg.gauge("planner_ewma_batched_remove_ns_per_edge"),
+                reg.gauge("planner_ewma_recompute_ns_per_unit"),
+                reg.gauge("planner_ewma_par_pass_ns_per_edge"),
+                reg.gauge("planner_ewma_par_recompute_ns_per_unit"),
+                reg.gauge("planner_ewma_pass_ns_per_seed"),
+                reg.gauge("planner_ewma_rebuild_ns_per_unit"),
+            ],
+            last: [0; 7],
+        }
+    }
+
+    fn observe(&mut self, s: &PlannerStats) {
+        let now = [
+            s.batched_chosen,
+            s.split_chosen,
+            s.par_split_chosen,
+            s.recompute_chosen,
+            s.par_recompute_chosen,
+            s.late_recompute,
+            s.rebuilds,
+        ];
+        let counters = [
+            &self.batched,
+            &self.split,
+            &self.par_split,
+            &self.recompute,
+            &self.par_recompute,
+            &self.late_recompute,
+            &self.rebuilds,
+        ];
+        for ((c, &n), last) in counters.iter().zip(&now).zip(&mut self.last) {
+            c.add(n.saturating_sub(*last) as u64);
+            *last = n;
+        }
+        let ewma = [
+            s.batched_insert_ns_per_edge,
+            s.batched_remove_ns_per_edge,
+            s.recompute_ns_per_unit,
+            s.par_pass_ns_per_edge,
+            s.par_recompute_ns_per_unit,
+            s.pass_ns_per_seed,
+            s.rebuild_ns_per_unit,
+        ];
+        for (g, v) in self.ewma.iter().zip(ewma) {
+            g.set(v);
+        }
+    }
+}
+
+/// The writer's cached metric handles — registered once at spawn so the
+/// flush path never touches the registry lock.
+struct WriterObs {
+    registry: MetricsRegistry,
+    spans: SpanRecorder,
+    events: Counter,
+    batches: Counter,
+    epochs: Counter,
+    shipped: Counter,
+    events_lost: Counter,
+    engine_panics: Counter,
+    recoveries: Counter,
+    recovery_retries: Counter,
+    recovery_failures: Counter,
+    rung_primary: Counter,
+    rung_truncated_tail: Counter,
+    rung_older_generation: Counter,
+    rung_snapshot_only: Counter,
+    rung_genesis_replay: Counter,
+    recovery_ns: Histogram,
+    health: Gauge,
+    stage_dequeue: Histogram,
+    stage_apply: Histogram,
+    stage_core_drain: Histogram,
+    stage_journal_ship: Histogram,
+    stage_mirror_sync: Histogram,
+    stage_publish: Histogram,
+    planner: PlannerObs,
+    team_jobs: Gauge,
+    team_tasks: Gauge,
+    team_workers: Gauge,
+    team_busy: Gauge,
+}
+
+impl WriterObs {
+    /// Registers every writer metric and shares the report's latency
+    /// histograms into the registry (same cells — recorded once, read
+    /// live from any thread).
+    fn new(cfg: &ObsConfig, report: &IngestReport) -> Self {
+        let reg = MetricsRegistry::new();
+        reg.register_histogram("ingest_batch_apply_ns", &report.batch_apply);
+        reg.register_histogram("ingest_publish_ns", &report.publish);
+        WriterObs {
+            events: reg.counter("ingest_events_total"),
+            batches: reg.counter("ingest_batches_total"),
+            epochs: reg.counter("ingest_epochs_published_total"),
+            shipped: reg.counter("ingest_entries_shipped_total"),
+            events_lost: reg.counter("ingest_events_lost_total"),
+            engine_panics: reg.counter("ingest_engine_panics_total"),
+            recoveries: reg.counter("ingest_recoveries_total"),
+            recovery_retries: reg.counter("ingest_recovery_retries_total"),
+            recovery_failures: reg.counter("ingest_recovery_failures_total"),
+            rung_primary: reg.counter("ingest_recovery_rung_primary_total"),
+            rung_truncated_tail: reg.counter("ingest_recovery_rung_truncated_tail_total"),
+            rung_older_generation: reg.counter("ingest_recovery_rung_older_generation_total"),
+            rung_snapshot_only: reg.counter("ingest_recovery_rung_snapshot_only_total"),
+            rung_genesis_replay: reg.counter("ingest_recovery_rung_genesis_replay_total"),
+            recovery_ns: reg.histogram("ingest_recovery_ns"),
+            health: reg.gauge("ingest_health"),
+            stage_dequeue: reg.histogram("ingest_flush_dequeue_ns"),
+            stage_apply: reg.histogram("ingest_flush_apply_ns"),
+            stage_core_drain: reg.histogram("ingest_flush_core_drain_ns"),
+            stage_journal_ship: reg.histogram("ingest_flush_journal_ship_ns"),
+            stage_mirror_sync: reg.histogram("ingest_flush_mirror_sync_ns"),
+            stage_publish: reg.histogram("ingest_flush_publish_ns"),
+            planner: PlannerObs::new(&reg),
+            team_jobs: reg.gauge("team_jobs"),
+            team_tasks: reg.gauge("team_tasks"),
+            team_workers: reg.gauge("team_workers_spawned"),
+            team_busy: reg.gauge("team_busy"),
+            spans: SpanRecorder::with_capacity(cfg.span_capacity),
+            registry: reg,
+        }
+    }
+
+    fn rung_counter(&self, rung_metric: &str) -> &Counter {
+        match rung_metric {
+            "primary" => &self.rung_primary,
+            "truncated_tail" => &self.rung_truncated_tail,
+            "older_generation" => &self.rung_older_generation,
+            "snapshot_only" => &self.rung_snapshot_only,
+            _ => &self.rung_genesis_replay,
+        }
+    }
+}
+
+/// Stage breakdown returned by [`Writer::sync_mirror`], feeding the
+/// `core_drain` and `mirror_sync` spans of the flush trace.
+struct MirrorSync {
+    drain_start: u64,
+    drain_end: u64,
+    drained: u64,
+    copied: u64,
+}
+
 struct Writer<M: IngestEngine> {
     engine: Journaled<M>,
     cfg: IngestConfig,
@@ -913,6 +1175,8 @@ struct Writer<M: IngestEngine> {
     recovery_due_ns: u64,
     /// Clean flushes left before `Degraded` clears to `Healthy`.
     degraded_flushes_left: u32,
+    /// Cached metric handles + span ring (None = observability off).
+    obs: Option<WriterObs>,
     report: IngestReport,
 }
 
@@ -930,6 +1194,36 @@ impl<M: IngestEngine> Writer<M> {
 
     fn set_health(&self, h: ServiceHealth) {
         self.health.store(h as u8, Ordering::Release);
+        if let Some(o) = &self.obs {
+            o.health.set(h as u8 as f64);
+        }
+    }
+
+    /// Counts events dropped (panic, recovering-buffer overflow,
+    /// `Failed`, or unflushed at teardown) in both the report and the
+    /// registry.
+    fn lose_events(&mut self, n: u64) {
+        self.report.events_lost += n;
+        if let Some(o) = &self.obs {
+            o.events_lost.add(n);
+        }
+    }
+
+    /// Exports the engine-side observables that live outside the writer:
+    /// planner decision counters + EWMA gauges, and the process-wide
+    /// worker-team occupancy gauges. Called once per flush.
+    fn export_engine_obs(&mut self) {
+        let Some(o) = self.obs.as_mut() else {
+            return;
+        };
+        if let Some(ps) = self.engine.engine().planner_stats() {
+            o.planner.observe(ps);
+        }
+        let ts = kcore_decomp::team::stats();
+        o.team_jobs.set(ts.jobs as f64);
+        o.team_tasks.set(ts.tasks as f64);
+        o.team_workers.set(ts.workers_spawned as f64);
+        o.team_busy.set(if ts.busy { 1.0 } else { 0.0 });
     }
 
     /// `Healthy → Degraded` (never downgrades `Recovering`/`Failed`).
@@ -978,40 +1272,53 @@ impl<M: IngestEngine> Writer<M> {
     /// Brings the mirror up to date with the engine after a flush —
     /// `O(changed)` via the drained change set when tracking is on, or
     /// the chunk-compare fallback (O(n) compare, O(changed) copy, and
-    /// untouched chunks keep their snapshot-shared allocation).
-    fn sync_mirror(&mut self) {
-        let engine = self.engine.engine_mut();
-        let n = engine.graph_ref().num_vertices();
+    /// untouched chunks keep their snapshot-shared allocation). Returns
+    /// the stage breakdown for the flush trace.
+    fn sync_mirror(&mut self) -> MirrorSync {
+        let n = self.engine.engine().graph_ref().num_vertices();
         if n > self.mirror.len() {
             self.mirror.grow(n);
         }
+        let drain_start = self.now();
         let mut buf = std::mem::take(&mut self.change_buf);
         buf.clear();
-        if self.tracking && engine.drain_core_changes(&mut buf) {
+        let tracked = self.tracking && self.engine.engine_mut().drain_core_changes(&mut buf);
+        let drain_end = self.now();
+        let drained = buf.len() as u64;
+        let mut copied = 0u64;
+        if tracked {
             self.report.tracked_drains += 1;
+            let engine = self.engine.engine_mut();
             let cores = engine.core_slice();
             for &v in &buf {
                 if self.mirror.apply(v, cores[v as usize]) {
-                    self.report.chunks_copied += 1;
+                    copied += 1;
                 }
             }
         } else {
             self.report.full_syncs += 1;
-            let (_, copied) = self.mirror.sync_full(engine.core_slice());
-            self.report.chunks_copied += copied as u64;
+            let (_, c) = self.mirror.sync_full(self.engine.engine().core_slice());
+            copied += c as u64;
         }
         self.change_buf = buf;
         if let Some(metrics) = &mut self.metrics {
             // No change tracking exists for these arrays — always the
             // chunk-compare path; copies still price out as the diff.
             if let Some((dp, mcd)) = self.engine.engine_mut().metric_slices() {
-                self.report.chunks_copied += metrics.sync_full(dp, mcd) as u64;
+                copied += metrics.sync_full(dp, mcd) as u64;
             }
         }
+        self.report.chunks_copied += copied;
         debug_assert!(
             self.mirror.snapshot_cores().to_vec() == self.engine.engine().core_slice(),
             "mirror diverged from the engine"
         );
+        MirrorSync {
+            drain_start,
+            drain_end,
+            drained,
+            copied,
+        }
     }
 
     fn publish(&mut self, handle: &SnapshotHandle) {
@@ -1021,6 +1328,9 @@ impl<M: IngestEngine> Writer<M> {
         self.subscribers.retain(|s| s.send(snap.clone()).is_ok());
         self.published_ops = self.ops;
         self.report.epochs_published += 1;
+        if let Some(o) = &self.obs {
+            o.epochs.inc();
+        }
     }
 
     /// Ships everything owed to the journal: queued-from-failure entries
@@ -1034,6 +1344,9 @@ impl<M: IngestEngine> Writer<M> {
         let Some(sink) = &mut self.sink else {
             // In-memory mode: entries are dropped by design.
             self.report.entries_shipped += self.unshipped.len() as u64;
+            if let Some(o) = &self.obs {
+                o.shipped.add(self.unshipped.len() as u64);
+            }
             self.unshipped.clear();
             self.sync_pending = false;
             return true;
@@ -1042,6 +1355,9 @@ impl<M: IngestEngine> Writer<M> {
             match sink.append(&self.unshipped) {
                 Ok(()) => {
                     self.report.entries_shipped += self.unshipped.len() as u64;
+                    if let Some(o) = &self.obs {
+                        o.shipped.add(self.unshipped.len() as u64);
+                    }
                     self.unshipped.clear();
                     self.sync_pending = false;
                 }
@@ -1081,7 +1397,10 @@ impl<M: IngestEngine> Writer<M> {
     /// schedules a `recover()` rebuild or parks in `Failed`.
     fn on_engine_panic(&mut self, lost: u64) {
         self.report.engine_panics += 1;
-        self.report.events_lost += lost;
+        if let Some(o) = &self.obs {
+            o.engine_panics.inc();
+        }
+        self.lose_events(lost);
         // Entries recorded against the poisoned engine must never ship.
         let _ = self.engine.drain();
         if self.cfg.recovery.is_some() && self.cfg.durability.is_some() {
@@ -1108,8 +1427,13 @@ impl<M: IngestEngine> Writer<M> {
         match recover(&d, pol.seed, self.cfg.planner.clone(), pol.replay_batch) {
             Ok(rec) => {
                 let next = rec.next_seq;
+                let rung = rec.report.rung_metric();
+                let recovery_elapsed = rec.report.elapsed_ns;
                 if !self.engine.engine_mut().adopt_recovered(rec) {
                     self.report.recovery_failures += 1;
+                    if let Some(o) = &self.obs {
+                        o.recovery_failures.inc();
+                    }
                     self.set_health(ServiceHealth::Failed);
                     return;
                 }
@@ -1128,6 +1452,9 @@ impl<M: IngestEngine> Writer<M> {
                     Ok(sink) if sink.existing() == next => self.sink = Some(sink),
                     _ => {
                         self.report.recovery_failures += 1;
+                        if let Some(o) = &self.obs {
+                            o.recovery_failures.inc();
+                        }
                         self.set_health(ServiceHealth::Failed);
                         return;
                     }
@@ -1148,11 +1475,19 @@ impl<M: IngestEngine> Writer<M> {
                 self.report.full_syncs += 1;
                 self.publish(handle);
                 self.report.recoveries += 1;
+                if let Some(o) = &self.obs {
+                    o.recoveries.inc();
+                    o.rung_counter(rung).inc();
+                    o.recovery_ns.record(recovery_elapsed);
+                }
                 self.degraded_flushes_left = pol.healthy_after.max(1);
                 self.set_health(ServiceHealth::Degraded);
             }
             Err(_) if self.recovery_attempts < pol.max_attempts => {
                 self.report.recovery_retries += 1;
+                if let Some(o) = &self.obs {
+                    o.recovery_retries.inc();
+                }
                 let delay = pol.backoff_base_ns.saturating_mul(
                     (pol.backoff_factor.max(1) as u64)
                         .saturating_pow(self.recovery_attempts.saturating_sub(1)),
@@ -1161,6 +1496,9 @@ impl<M: IngestEngine> Writer<M> {
             }
             Err(_) => {
                 self.report.recovery_failures += 1;
+                if let Some(o) = &self.obs {
+                    o.recovery_failures.inc();
+                }
                 self.set_health(ServiceHealth::Failed);
             }
         }
@@ -1185,6 +1523,10 @@ impl<M: IngestEngine> Writer<M> {
         if self.pending.is_empty() {
             return;
         }
+        // Flush number doubles as the trace id: every stage span of this
+        // flush carries it, so the trace can be reassembled from the ring.
+        let trace = self.report.batches + 1;
+        let open_ns = self.batch_open_ns.take().unwrap_or_else(|| self.now());
         let t0 = self.now();
         let batch_len = self.pending.len() as u64;
         let applied = catch_unwind(AssertUnwindSafe(|| {
@@ -1194,7 +1536,6 @@ impl<M: IngestEngine> Writer<M> {
                 self.cfg.max_batch.max(1),
             )
         }));
-        self.batch_open_ns = None;
         let stats = match applied {
             Ok(stats) => stats,
             Err(_) => {
@@ -1205,6 +1546,9 @@ impl<M: IngestEngine> Writer<M> {
         self.ops = self.engine.next_seq();
         self.report.update_stats.absorb(stats);
         self.report.batches += 1;
+        let apply_end = self.now();
+        let apply_ns = apply_end.saturating_sub(t0);
+        self.report.batch_apply.record(apply_ns);
 
         // Ship the journal tail (incremental cursor: each entry exactly
         // once). Without a sink the entries are dropped — the recorder
@@ -1212,19 +1556,14 @@ impl<M: IngestEngine> Writer<M> {
         // append keeps the entries queued for the next round instead of
         // killing the writer.
         let mut tail = self.engine.drain_since(self.ship_cursor);
+        let tail_len = tail.len() as u64;
         self.ship_cursor = self.engine.next_seq();
         self.unshipped.append(&mut tail);
         if self.sink.is_some() && self.cfg.durability.as_ref().is_some_and(|d| d.fsync) {
             self.sync_pending = true;
         }
         let shipped = self.ship_owed();
-        let apply_ns = self.now().saturating_sub(t0);
-        if self.report.batch_apply_ns.len() < LATENCY_SAMPLE_CAP {
-            self.report.batch_apply_ns.push(apply_ns);
-        } else {
-            let slot = (self.report.batches - 1) as usize % LATENCY_SAMPLE_CAP;
-            self.report.batch_apply_ns[slot] = apply_ns;
-        }
+        let ship_end = self.now();
 
         // Snapshot maintenance: sync the mirror every flush (the change
         // log must be drained even on non-publishing batches) and
@@ -1232,21 +1571,73 @@ impl<M: IngestEngine> Writer<M> {
         // scripted mode — publish cost is a real-machine metric, and
         // reading `Instant` does not perturb scripted determinism.
         let p0 = Instant::now();
-        self.sync_mirror();
-        if self
+        let sync = self.sync_mirror();
+        let sync_end = self.now();
+        let ops_at_last_publish = self.published_ops;
+        let published = self
             .report
             .batches
-            .is_multiple_of(self.cfg.publish_every_batches.max(1) as u64)
-        {
+            .is_multiple_of(self.cfg.publish_every_batches.max(1) as u64);
+        if published {
             self.publish(handle);
         }
         let publish_ns = p0.elapsed().as_nanos() as u64;
-        if self.report.publish_ns.len() < LATENCY_SAMPLE_CAP {
-            self.report.publish_ns.push(publish_ns);
-        } else {
-            let slot = (self.report.batches - 1) as usize % LATENCY_SAMPLE_CAP;
-            self.report.publish_ns[slot] = publish_ns;
+        self.report.publish.record(publish_ns);
+
+        if let Some(o) = &self.obs {
+            o.batches.inc();
+            let pub_end = self.now();
+            let published_items = if published {
+                self.ops.saturating_sub(ops_at_last_publish)
+            } else {
+                0
+            };
+            // Stage breakdown, recorded in pipeline order: queue wait,
+            // engine apply, core-change drain, journal append/ship,
+            // mirror sync, COW publish. Spans carry writer-clock
+            // timestamps, so a scripted run yields a bit-exact trace.
+            let stages = [
+                ("dequeue", open_ns, t0.saturating_sub(open_ns), batch_len),
+                ("apply", t0, apply_ns, batch_len),
+                (
+                    "core_drain",
+                    sync.drain_start,
+                    sync.drain_end.saturating_sub(sync.drain_start),
+                    sync.drained,
+                ),
+                (
+                    "journal_ship",
+                    apply_end,
+                    ship_end.saturating_sub(apply_end),
+                    tail_len,
+                ),
+                (
+                    "mirror_sync",
+                    sync.drain_end,
+                    sync_end.saturating_sub(sync.drain_end),
+                    sync.copied,
+                ),
+                (
+                    "publish",
+                    sync_end,
+                    pub_end.saturating_sub(sync_end),
+                    published_items,
+                ),
+            ];
+            let hists = [
+                &o.stage_dequeue,
+                &o.stage_apply,
+                &o.stage_core_drain,
+                &o.stage_journal_ship,
+                &o.stage_mirror_sync,
+                &o.stage_publish,
+            ];
+            for (hist, &(stage, start, dur, items)) in hists.iter().zip(&stages) {
+                hist.record(dur);
+                o.spans.record(trace, stage, start, dur, items);
+            }
         }
+        self.export_engine_obs();
         self.batches_since_persist += 1;
         if let Some(d) = &self.cfg.durability {
             if d.snapshot_every_batches > 0
@@ -1346,14 +1737,17 @@ impl<M: IngestEngine> Writer<M> {
             match msg {
                 Msg::Event(e) => {
                     self.report.events += 1;
+                    if let Some(o) = &self.obs {
+                        o.events.inc();
+                    }
                     match self.health() {
                         ServiceHealth::Failed => {
-                            self.report.events_lost += 1;
+                            self.lose_events(1);
                         }
                         ServiceHealth::Recovering => {
                             // Buffer through the outage (bounded).
                             if self.pending.len() >= self.recovering_buffer_cap() {
-                                self.report.events_lost += 1;
+                                self.lose_events(1);
                             } else {
                                 if self.pending.is_empty() {
                                     self.batch_open_ns = Some(self.now());
@@ -1418,7 +1812,8 @@ impl<M: IngestEngine> Writer<M> {
         }
         match self.health() {
             ServiceHealth::Recovering | ServiceHealth::Failed => {
-                self.report.events_lost += self.pending.len() as u64;
+                let lost = self.pending.len() as u64;
+                self.lose_events(lost);
                 self.pending.clear();
                 self.set_health(ServiceHealth::Failed);
             }

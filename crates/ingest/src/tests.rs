@@ -88,7 +88,7 @@ fn scripted_ticks_drive_interval_flushes() {
     let (report, _) = svc.shutdown();
     assert_eq!(report.batches, 2);
     // Scripted latencies are synthetic but recorded per flush.
-    assert_eq!(report.batch_apply_ns.len(), 2);
+    assert_eq!(report.batch_apply.count(), 2);
 }
 
 #[test]
@@ -456,7 +456,7 @@ fn publication_shares_untouched_chunks_across_epochs() {
     // copy per flush (the flush()-barrier publish clones every chunk
     // into the snapshot, forcing the next write to copy).
     assert_eq!(report.chunks_copied, 2);
-    assert_eq!(report.publish_ns.len() as u64, report.batches);
+    assert_eq!(report.publish.count(), report.batches);
 }
 
 #[test]
@@ -563,7 +563,9 @@ fn report_merge_sums_counters_and_takes_worst_health() {
         ..IngestReport::default()
     };
     a.update_stats.changed = 7;
-    a.batch_apply_ns = vec![10, 30, 20];
+    for v in [10, 30, 20] {
+        a.batch_apply.record(v);
+    }
     let mut b = IngestReport {
         events: 5,
         batches: 2,
@@ -575,7 +577,9 @@ fn report_merge_sums_counters_and_takes_worst_health() {
         ..IngestReport::default()
     };
     b.update_stats.changed = 3;
-    b.batch_apply_ns = vec![100, 5];
+    for v in [100, 5] {
+        b.batch_apply.record(v);
+    }
     let m = IngestReport::merge(&[a, b]);
     assert_eq!(m.events, 15);
     assert_eq!(m.batches, 5);
@@ -588,43 +592,49 @@ fn report_merge_sums_counters_and_takes_worst_health() {
     assert_eq!(m.recoveries, 1);
     assert_eq!(m.events_lost, 1);
     assert_eq!(m.final_health, ServiceHealth::Degraded);
-    // Latency rings merge as the sorted union when under the cap — no
-    // sample from either writer is lost.
-    assert_eq!(m.batch_apply_ns, vec![5, 10, 20, 30, 100]);
-    assert!(m.publish_ns.is_empty());
+    // Latency histograms merge by bucket addition — every sample from
+    // both writers is kept (values < 8 land in exact unit buckets, so
+    // min is exact here; larger ones are exact at bucket granularity).
+    assert_eq!(m.batch_apply.count(), 5);
+    assert_eq!(m.batch_apply.min(), 5);
+    assert_eq!(m.batch_apply.max(), 100);
+    assert!(m.publish.is_empty());
 }
 
 #[test]
-fn report_merge_latency_subsample_is_percentile_safe() {
+fn report_merge_latency_histograms_are_percentile_safe() {
     use crate::service::{IngestReport, LATENCY_SAMPLE_CAP};
     // One writer with uniformly low latencies, one with uniformly high:
-    // after merging past the cap, the median must sit between the two
-    // populations and the p99 must come from the slow writer's tail.
-    let fast = IngestReport {
-        batch_apply_ns: (0..LATENCY_SAMPLE_CAP as u64).collect(),
-        ..IngestReport::default()
-    };
-    let slow = IngestReport {
-        batch_apply_ns: (0..LATENCY_SAMPLE_CAP as u64)
-            .map(|i| 1_000_000 + i)
-            .collect(),
-        ..IngestReport::default()
-    };
+    // the merged histogram keeps every sample (bucket addition, no
+    // subsampling), so the median sits at the population boundary and
+    // the p99 comes from the slow writer's tail.
+    let n = LATENCY_SAMPLE_CAP as u64;
+    let fast = IngestReport::default();
+    for v in 0..n {
+        fast.batch_apply.record(v);
+    }
+    let slow = IngestReport::default();
+    for v in 0..n {
+        slow.batch_apply.record(1_000_000 + v);
+    }
     let m = IngestReport::merge(&[fast, slow]);
-    assert_eq!(m.batch_apply_ns.len(), LATENCY_SAMPLE_CAP);
-    let mut sorted = m.batch_apply_ns.clone();
-    sorted.sort_unstable();
-    assert_eq!(sorted, m.batch_apply_ns, "merged ring is rank-ordered");
-    let p50 = sorted[sorted.len() / 2];
-    let p99 = sorted[sorted.len() * 99 / 100];
-    assert!(p50 >= 1_000_000, "median crossed into the slow population");
+    assert_eq!(m.batch_apply.count(), 2 * n, "no sample is dropped");
+    let p50 = m.batch_apply.p50();
+    let p99 = m.batch_apply.p99();
+    // Log-bucketed quantiles are exact to ≤12.5% relative bucket width.
+    assert!(p50 < 1_000_000, "median left the fast population: {p50}");
     assert!(
-        (sorted[sorted.len() / 4]) < 1_000_000,
-        "fast population kept its mass"
+        p50 >= n / 2,
+        "median fell below the fast population's middle: {p50}"
     );
+    assert!(p99 >= 1_000_000, "tail lost the slow population: {p99}");
+    // The deprecated shim still reconstructs a rank-ordered vector.
+    #[allow(deprecated)]
+    let samples = m.batch_apply_ns();
+    assert_eq!(samples.len(), LATENCY_SAMPLE_CAP);
     assert!(
-        p99 >= 1_000_000 + (LATENCY_SAMPLE_CAP as u64) / 2,
-        "tail survived: {p99}"
+        samples.is_sorted(),
+        "reconstructed samples are rank-ordered"
     );
 }
 
@@ -661,4 +671,118 @@ fn published_metrics_track_engine_and_share_chunks() {
     let svc2 = IngestService::spawn_planned(base, 11, IngestConfig::scripted()).unwrap();
     assert!(svc2.snapshots().load().metrics.is_none());
     svc2.shutdown();
+}
+
+#[test]
+fn scripted_flush_trace_is_bit_exact_across_runs() {
+    use crate::service::ObsConfig;
+    // Two identical scripted runs must produce byte-identical span
+    // rings: writer-clock timestamps, deterministic item counts, stable
+    // stage order. This is the determinism contract of the tracing
+    // layer — a wall-clock leak into any span breaks it.
+    let run = || {
+        let cfg = IngestConfig::scripted()
+            .max_batch(2)
+            .observe(ObsConfig::default().with_span_capacity(64));
+        let svc = IngestService::spawn_planned(path_graph(6), 3, cfg).unwrap();
+        let spans = svc.spans().expect("span recorder is on");
+        svc.submit(GraphEvent::EdgeInserted(0, 2)).unwrap();
+        svc.submit(GraphEvent::EdgeInserted(0, 3)).unwrap(); // flush 1
+        svc.tick(500).unwrap();
+        svc.submit(GraphEvent::EdgeInserted(1, 4)).unwrap();
+        svc.submit(GraphEvent::EdgeRemoved(2, 3)).unwrap(); // flush 2
+        svc.flush().unwrap();
+        svc.shutdown();
+        spans.spans()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "scripted traces must be bit-exact across runs");
+
+    // Pin the full per-stage breakdown of flush 2 (trace id 2): the
+    // batch opened at t=500 and flushed at t=500, so every duration is
+    // zero under the scripted clock while item counts stay real.
+    let t2: Vec<_> = a.iter().filter(|s| s.trace == 2).collect();
+    let stages: Vec<&str> = t2.iter().map(|s| s.stage).collect();
+    assert_eq!(
+        stages,
+        [
+            "dequeue",
+            "apply",
+            "core_drain",
+            "journal_ship",
+            "mirror_sync",
+            "publish"
+        ],
+        "canonical stage order"
+    );
+    for s in &t2 {
+        assert_eq!(s.start_ns, 500, "writer-clock start of {}", s.stage);
+        assert_eq!(s.dur_ns, 0, "scripted durations are zero ({})", s.stage);
+    }
+    assert_eq!(t2[0].items, 2, "dequeue saw the 2-event batch");
+    assert_eq!(t2[1].items, 2, "apply saw the 2-event batch");
+    assert_eq!(t2[3].items, 2, "journal_ship moved 2 entries");
+    assert_eq!(t2[5].items, 2, "publish advanced ops by 2");
+
+    // Flush 1 ran the same pipeline at t=0.
+    let t1: Vec<_> = a.iter().filter(|s| s.trace == 1).collect();
+    assert_eq!(t1.len(), 6);
+    assert!(t1.iter().all(|s| s.start_ns == 0 && s.dur_ns == 0));
+}
+
+#[test]
+fn metrics_registry_exposes_flush_pipeline_counters() {
+    // Counter/histogram surfaces agree with the report, and both
+    // renderings (Prometheus text, JSON) carry the same numbers.
+    let svc = IngestService::spawn_planned(path_graph(5), 1, IngestConfig::scripted().max_batch(2))
+        .unwrap();
+    let metrics = svc.metrics().expect("observability defaults on");
+    svc.submit(GraphEvent::EdgeInserted(0, 2)).unwrap();
+    svc.submit(GraphEvent::EdgeInserted(0, 3)).unwrap();
+    svc.flush().unwrap();
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter("ingest_events_total"), Some(2));
+    assert_eq!(snap.counter("ingest_batches_total"), Some(1));
+    assert_eq!(snap.counter("ingest_epochs_published_total"), Some(1));
+    assert_eq!(snap.counter("ingest_events_lost_total"), Some(0));
+    let apply = snap.histogram("ingest_batch_apply_ns").unwrap();
+    assert_eq!(
+        apply.count, 1,
+        "report histogram is shared into the registry"
+    );
+    for stage in [
+        "ingest_flush_dequeue_ns",
+        "ingest_flush_apply_ns",
+        "ingest_flush_core_drain_ns",
+        "ingest_flush_journal_ship_ns",
+        "ingest_flush_mirror_sync_ns",
+        "ingest_flush_publish_ns",
+    ] {
+        assert_eq!(snap.histogram(stage).unwrap().count, 1, "{stage}");
+    }
+    // Planner observables rode along from the engine.
+    assert!(snap.counter("planner_batched_total").is_some());
+    let text = snap.render_text();
+    assert!(text.contains("ingest_events_total 2"));
+    assert!(text.contains("# TYPE ingest_batch_apply_ns histogram"));
+    let json = snap.to_json();
+    assert!(json.contains("\"ingest_events_total\":2"));
+
+    let (report, _) = svc.shutdown();
+    assert_eq!(report.batches, 1);
+    assert_eq!(report.batch_apply.count(), 1);
+
+    // Observability off: no registry, no spans, same report counters.
+    let cfg = IngestConfig::scripted()
+        .max_batch(2)
+        .observe(crate::service::ObsConfig::disabled());
+    let svc2 = IngestService::spawn_planned(path_graph(5), 1, cfg).unwrap();
+    assert!(svc2.metrics().is_none());
+    assert!(svc2.spans().is_none());
+    svc2.submit(GraphEvent::EdgeInserted(0, 2)).unwrap();
+    svc2.submit(GraphEvent::EdgeInserted(0, 3)).unwrap();
+    let (r2, _) = svc2.shutdown();
+    assert_eq!(r2.batches, 1);
+    assert_eq!(r2.batch_apply.count(), 1);
 }

@@ -214,6 +214,33 @@ fn fault_supervised_writer_self_heals_after_engine_panic() {
         "one clean flush heals"
     );
 
+    // The registry's recovery-rung counters must tell the same story as
+    // the report: one panic, one recovery, taken on the primary rung
+    // (clean journal — no tail damage, no generation fallback).
+    let metrics = svc.metrics().expect("observability is on by default");
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter("ingest_engine_panics_total"), Some(1));
+    assert_eq!(snap.counter("ingest_recoveries_total"), Some(1));
+    assert_eq!(snap.counter("ingest_recovery_retries_total"), Some(0));
+    assert_eq!(snap.counter("ingest_recovery_failures_total"), Some(0));
+    assert_eq!(snap.counter("ingest_recovery_rung_primary_total"), Some(1));
+    for rung in [
+        "ingest_recovery_rung_truncated_tail_total",
+        "ingest_recovery_rung_older_generation_total",
+        "ingest_recovery_rung_snapshot_only_total",
+        "ingest_recovery_rung_genesis_replay_total",
+    ] {
+        assert_eq!(snap.counter(rung), Some(0), "rung {rung} must stay 0");
+    }
+    let rec_hist = snap.histogram("ingest_recovery_ns").unwrap();
+    assert_eq!(rec_hist.count, 1, "one recovery timing sample");
+    assert_eq!(snap.counter("ingest_events_lost_total"), Some(4));
+    assert_eq!(snap.counter("ingest_events_total"), Some(16));
+    assert_eq!(
+        snap.gauge("ingest_health"),
+        Some(ServiceHealth::Healthy as u8 as f64)
+    );
+
     let (report, engine) = svc.shutdown();
     assert_eq!(report.engine_panics, 1);
     assert_eq!(report.recoveries, 1);
@@ -237,6 +264,9 @@ fn fault_supervised_writer_self_heals_after_engine_panic() {
     .unwrap();
     assert_eq!(rec.engine.cores(), &heal_oracle(&events, 8..12)[..]);
     assert_eq!(rec.report.durable_ops, 12);
+    // Same ladder, same rung: the counter the writer bumped corresponds
+    // to the rung a plain recovery reports for this journal.
+    assert_eq!(rec.report.rung_metric(), "primary");
 }
 
 #[test]

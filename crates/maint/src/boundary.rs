@@ -90,6 +90,25 @@ impl BoundaryPassStats {
         self.examined += other.examined;
         self.changed += other.changed;
     }
+
+    /// One-line JSON for ops logs and bench embedding.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rounds\":{},\"boundary_exchanges\":{},\"raised\":{},\
+             \"examined\":{},\"changed\":{}}}",
+            self.rounds, self.boundary_exchanges, self.raised, self.examined, self.changed
+        )
+    }
+}
+
+impl std::fmt::Display for BoundaryPassStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} frontier exchanges, {} raised, {} examined, {} changed",
+            self.rounds, self.boundary_exchanges, self.raised, self.examined, self.changed
+        )
+    }
 }
 
 /// Reusable scratch for boundary repair passes.

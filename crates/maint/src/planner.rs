@@ -87,6 +87,18 @@ impl Strategy {
     }
 }
 
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Strategy::Batched => write!(f, "batched"),
+            Strategy::Split => write!(f, "split"),
+            Strategy::ParSplit => write!(f, "par-split"),
+            Strategy::Recompute => write!(f, "recompute"),
+            Strategy::ParRecompute => write!(f, "par-recompute"),
+        }
+    }
+}
+
 /// Dispatch policy of a [`Planner`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PlanPolicy {
@@ -266,6 +278,75 @@ pub struct PlannerStats {
     pub pass_ns_per_seed: f64,
     /// Calibrated EWMA: order rebuild cost per graph unit, ns.
     pub rebuild_ns_per_unit: f64,
+}
+
+impl PlannerStats {
+    /// Total dispatch decisions recorded (all strategies).
+    pub fn decisions(&self) -> usize {
+        self.batched_chosen
+            + self.split_chosen
+            + self.par_split_chosen
+            + self.recompute_chosen
+            + self.par_recompute_chosen
+    }
+
+    /// One-line JSON for ops logs and bench embedding: decision
+    /// counters plus the calibrated EWMA cost model.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"batched_chosen\":{},\"split_chosen\":{},\"par_split_chosen\":{},\
+             \"recompute_chosen\":{},\"par_recompute_chosen\":{},\"late_recompute\":{},\
+             \"rebuilds\":{},\"last\":{},\"batched_insert_ns_per_edge\":{:.3},\
+             \"batched_remove_ns_per_edge\":{:.3},\"recompute_ns_per_unit\":{:.3},\
+             \"par_pass_ns_per_edge\":{:.3},\"par_recompute_ns_per_unit\":{:.3},\
+             \"pass_ns_per_seed\":{:.3},\"rebuild_ns_per_unit\":{:.3}}}",
+            self.batched_chosen,
+            self.split_chosen,
+            self.par_split_chosen,
+            self.recompute_chosen,
+            self.par_recompute_chosen,
+            self.late_recompute,
+            self.rebuilds,
+            match self.last {
+                Some(s) => format!("\"{s}\""),
+                None => "null".to_string(),
+            },
+            self.batched_insert_ns_per_edge,
+            self.batched_remove_ns_per_edge,
+            self.recompute_ns_per_unit,
+            self.par_pass_ns_per_edge,
+            self.par_recompute_ns_per_unit,
+            self.pass_ns_per_seed,
+            self.rebuild_ns_per_unit,
+        )
+    }
+}
+
+impl std::fmt::Display for PlannerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} decisions (batched {}, split {}, par-split {}, recompute {}, \
+             par-recompute {}; {} late recomputes, {} rebuilds); ewma ns/unit: \
+             ins {:.0}, rem {:.0}, recompute {:.1}, par-pass {:.0}, \
+             par-recompute {:.1}, seed {:.0}, rebuild {:.1}",
+            self.decisions(),
+            self.batched_chosen,
+            self.split_chosen,
+            self.par_split_chosen,
+            self.recompute_chosen,
+            self.par_recompute_chosen,
+            self.late_recompute,
+            self.rebuilds,
+            self.batched_insert_ns_per_edge,
+            self.batched_remove_ns_per_edge,
+            self.recompute_ns_per_unit,
+            self.par_pass_ns_per_edge,
+            self.par_recompute_ns_per_unit,
+            self.pass_ns_per_seed,
+            self.rebuild_ns_per_unit,
+        )
+    }
 }
 
 /// Time source of a [`Planner`]. The scripted variant exists so

@@ -1,0 +1,120 @@
+//! Bounded span ring for flush-pipeline tracing.
+//!
+//! Timestamps are **caller-supplied**: the ingest writer stamps spans
+//! from its own clock, so under a scripted clock the whole trace —
+//! sequence numbers, trace ids, stage names, timestamps, item counts —
+//! is bit-identical run over run. Deterministic tests assert on the
+//! exact span list; production runs get wall-clock stage breakdowns.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One pipeline stage of one flush (or merged cut).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Global sequence number within this recorder (0-based).
+    pub seq: u64,
+    /// Groups stages of the same flush / cut (e.g. the batch number).
+    pub trace: u64,
+    /// Stage name, e.g. `"apply"`, `"publish"`.
+    pub stage: &'static str,
+    /// Start timestamp in the recording thread's clock domain (ns).
+    pub start_ns: u64,
+    /// Duration in the same clock domain (ns).
+    pub dur_ns: u64,
+    /// Stage-specific work count (events applied, chunks copied, …).
+    pub items: u64,
+}
+
+struct Ring {
+    spans: Mutex<VecDeque<Span>>,
+    seq: AtomicU64,
+    capacity: usize,
+}
+
+/// A bounded ring of [`Span`]s. Clones share the ring. Recording takes
+/// one uncontended mutex per span — a handful per *flush*, never per
+/// event, so the cost is noise next to the batch work it measures.
+#[derive(Clone)]
+pub struct SpanRecorder(Arc<Ring>);
+
+impl SpanRecorder {
+    /// `capacity` is the maximum number of retained spans; older spans
+    /// are dropped FIFO. Capacity 0 disables retention (records are
+    /// dropped but `seq` still advances).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SpanRecorder(Arc::new(Ring {
+            spans: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+            seq: AtomicU64::new(0),
+            capacity,
+        }))
+    }
+
+    /// Record one completed stage. Returns the span's sequence number.
+    pub fn record(
+        &self,
+        trace: u64,
+        stage: &'static str,
+        start_ns: u64,
+        dur_ns: u64,
+        items: u64,
+    ) -> u64 {
+        let seq = self.0.seq.fetch_add(1, Ordering::Relaxed);
+        if self.0.capacity > 0 {
+            let mut ring = self.0.spans.lock().unwrap();
+            if ring.len() == self.0.capacity {
+                ring.pop_front();
+            }
+            ring.push_back(Span {
+                seq,
+                trace,
+                stage,
+                start_ns,
+                dur_ns,
+                items,
+            });
+        }
+        seq
+    }
+
+    /// Total spans ever recorded (including ones evicted from the ring).
+    pub fn recorded(&self) -> u64 {
+        self.0.seq.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the retained spans, oldest first.
+    pub fn spans(&self) -> Vec<Span> {
+        self.0.spans.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Retained spans belonging to trace id `trace`, oldest first.
+    pub fn trace(&self, trace: u64) -> Vec<Span> {
+        self.0
+            .spans
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|s| s.trace == trace)
+            .cloned()
+            .collect()
+    }
+
+    /// Drop all retained spans (sequence numbers keep advancing).
+    pub fn clear(&self) {
+        self.0.spans.lock().unwrap().clear();
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.0.capacity
+    }
+}
+
+impl std::fmt::Debug for SpanRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRecorder")
+            .field("capacity", &self.0.capacity)
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}

@@ -89,11 +89,7 @@ fn main() {
         }
         if i == 34 {
             let report = router.recover_shard(1).expect("durability ladder");
-            println!(
-                "  !! shard 1 recovered via rung {} ({} durable ops, {} replayed) — \
-                 parked traffic re-submitted",
-                report.rung, report.durable_ops, report.replayed
-            );
+            println!("  !! shard 1 recovered — {report} — parked traffic re-submitted");
         }
         if (i + 1).is_multiple_of(5) && router.merged_cut().is_ok() {
             // Cuts while a shard is down are refused rather than torn;
@@ -104,14 +100,26 @@ fn main() {
     let stats = router.stats();
     println!(
         "submitted {submitted} events; final merged epoch {} covers {} events, \
-         {} cross-shard boundary edges; boundary repair ran {} rounds with {} frontier \
-         exchanges across {} cuts",
-        final_cut.epoch,
-        final_cut.ops,
-        final_cut.boundary_edges,
-        stats.repair.rounds,
-        stats.repair.boundary_exchanges,
-        stats.cuts
+         {} cross-shard boundary edges; boundary repair: {} across {} cuts",
+        final_cut.epoch, final_cut.ops, final_cut.boundary_edges, stats.repair, stats.cuts
+    );
+    // Router-level observability: cut counters, merged-cut phase latency
+    // histograms, and the cross-shard lag gauge (max epoch spread).
+    let obs = router.metrics().snapshot();
+    println!(
+        "router metrics: {} cuts, {} cross-shard events, lag {} epochs | \
+         cut phases p50: barrier {:.1}us, replay {:.1}us, repair {:.1}us, publish {:.1}us",
+        obs.counter("router_cuts_total").unwrap_or(0),
+        obs.counter("router_cross_shard_events_total").unwrap_or(0),
+        obs.gauge("router_cross_shard_lag").unwrap_or(0.0),
+        obs.histogram("router_cut_barrier_ns")
+            .map_or(0.0, |h| h.p50 as f64 / 1e3),
+        obs.histogram("router_cut_union_replay_ns")
+            .map_or(0.0, |h| h.p50 as f64 / 1e3),
+        obs.histogram("router_cut_boundary_repair_ns")
+            .map_or(0.0, |h| h.p50 as f64 / 1e3),
+        obs.histogram("router_cut_publish_ns")
+            .map_or(0.0, |h| h.p50 as f64 / 1e3),
     );
     router
         .validate()

@@ -80,6 +80,38 @@ fn main() {
         "submitted {submitted} events; final epoch {} covers {} events",
         final_snap.epoch, final_snap.ops
     );
+    // The writer's live metrics registry: counters, gauges, and the
+    // per-flush stage-latency histograms, readable from any thread and
+    // renderable as a Prometheus text exposition.
+    let metrics = svc.metrics().expect("observability is on by default");
+    let obs = metrics.snapshot();
+    println!(
+        "live metrics: {} events, {} batches, {} epochs | flush stages p99: \
+         apply {:.1}us, journal {:.1}us, mirror {:.1}us, publish {:.1}us",
+        obs.counter("ingest_events_total").unwrap_or(0),
+        obs.counter("ingest_batches_total").unwrap_or(0),
+        obs.counter("ingest_epochs_published_total").unwrap_or(0),
+        obs.histogram("ingest_flush_apply_ns")
+            .map_or(0.0, |h| h.p99 as f64 / 1e3),
+        obs.histogram("ingest_flush_journal_ship_ns")
+            .map_or(0.0, |h| h.p99 as f64 / 1e3),
+        obs.histogram("ingest_flush_mirror_sync_ns")
+            .map_or(0.0, |h| h.p99 as f64 / 1e3),
+        obs.histogram("ingest_flush_publish_ns")
+            .map_or(0.0, |h| h.p99 as f64 / 1e3),
+    );
+    let exposition = obs.render_text();
+    println!(
+        "Prometheus exposition sample ({} lines total):",
+        exposition.lines().count()
+    );
+    for line in exposition
+        .lines()
+        .filter(|l| l.starts_with("ingest_health") || l.starts_with("planner_ewma_batched"))
+        .take(3)
+    {
+        println!("  {line}");
+    }
     let (report, engine) = svc.shutdown();
     done.store(true, std::sync::atomic::Ordering::Release);
     println!(
@@ -88,19 +120,19 @@ fn main() {
     );
     // Publish-cost stats: snapshots are published copy-on-write, so each
     // epoch costs the chunks the flush dirtied — not an O(n) rebuild.
-    let mut publish = report.publish_ns.clone();
-    publish.sort_unstable();
-    let p50 = publish.get(publish.len() / 2).copied().unwrap_or(0);
     println!(
         "publish cost: p50 {:.1}us per epoch, {} of {} x {} chunks copy-on-written \
          ({} tracked drains, {} full syncs)",
-        p50 as f64 / 1_000.0,
+        report.publish.p50() as f64 / 1_000.0,
         report.chunks_copied,
         report.batches,
         report.mirror_chunks,
         report.tracked_drains,
         report.full_syncs,
     );
+    // The planner's own story of the run: which strategies it chose and
+    // the EWMA cost model it priced them with.
+    println!("planner: {}", engine.planner_stats());
     let epochs_seen = reader.join().unwrap();
     println!("reader observed {epochs_seen} distinct epochs");
 

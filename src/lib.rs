@@ -43,12 +43,14 @@
 //! | [`maint`] | `kcore-maint` | `OrderInsert` / `OrderRemoval` (the paper) |
 //! | [`gen`] | `kcore-gen` | generators, dataset registry, samplers |
 //! | [`ingest`] | `kcore-ingest` | streaming ingest service, snapshots, durability |
+//! | [`obs`] | `kcore-obs` | metrics registry, latency histograms, span tracing |
 
 pub use kcore_decomp as decomp;
 pub use kcore_gen as gen;
 pub use kcore_graph as graph;
 pub use kcore_ingest as ingest;
 pub use kcore_maint as maint;
+pub use kcore_obs as obs;
 pub use kcore_order as order;
 pub use kcore_traversal as traversal;
 
@@ -56,13 +58,14 @@ pub use kcore_decomp::{core_decomposition, korder_decomposition, Heuristic};
 pub use kcore_graph::{DynamicGraph, VertexId};
 pub use kcore_graph::{HashShardMap, RangeShardMap, ShardMap};
 pub use kcore_ingest::{
-    CoreSnapshot, GraphEvent, IngestConfig, IngestService, MergedHandle, MergedSnapshot,
+    CoreSnapshot, GraphEvent, IngestConfig, IngestService, MergedHandle, MergedSnapshot, ObsConfig,
     ShardRouter,
 };
 pub use kcore_maint::{
     CoreMaintainer, PlanPolicy, PlannedTreapCore, PlannerConfig, RecomputeCore, SkipOrderCore,
     TagOrderCore, TreapOrderCore, UpdateStats,
 };
+pub use kcore_obs::{Histogram, MetricsRegistry, MetricsSnapshot, SpanRecorder};
 pub use kcore_traversal::{SubCoreAlgo, TraversalCore};
 
 /// The default order-based maintenance engine (treap-backed `A_k`).
